@@ -1,0 +1,94 @@
+// Ablation study of the 2PS-L design choices called out in DESIGN.md:
+//   1. cluster volume cap factor (the paper mandates a cap but leaves
+//      its value open),
+//   2. Graham LPT scheduling vs naive round-robin cluster mapping,
+//   3. the cluster-volume term of the scoring function,
+//   4. enforcing the volume cap at all (original Hollocou behaviour).
+// Run on one social (OK) and one web (UK) graph at k = 32.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/two_phase_partitioner.h"
+
+namespace {
+
+tpsl::StatusOr<tpsl::RunResult> RunVariant(
+    const std::vector<tpsl::Edge>& edges,
+    const tpsl::TwoPhasePartitioner::Options& options) {
+  tpsl::TwoPhasePartitioner partitioner(options);
+  tpsl::InMemoryEdgeStream stream(edges);
+  tpsl::PartitionConfig config;
+  config.num_partitions = 32;
+  return tpsl::RunPartitioner(partitioner, stream, config);
+}
+
+void Report(const char* label, const tpsl::StatusOr<tpsl::RunResult>& r,
+            uint64_t num_edges) {
+  if (!r.ok()) {
+    std::printf("  %-28s FAILED: %s\n", label, r.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-28s rf=%7.3f time=%7.4fs prepart=%4.1f%%\n", label,
+              r->quality.replication_factor, r->stats.TotalSeconds(),
+              100.0 * static_cast<double>(r->stats.prepartitioned_edges) /
+                  static_cast<double>(num_edges));
+}
+
+}  // namespace
+
+int main() {
+  const int shift = tpsl::bench::ScaleShift(2);
+  tpsl::bench::PrintHeader("Ablation: 2PS-L design choices at k=32");
+
+  for (const char* dataset : {"OK", "UK"}) {
+    auto edges_or = tpsl::LoadDataset(dataset, shift);
+    if (!edges_or.ok()) {
+      std::fprintf(stderr, "%s\n", edges_or.status().ToString().c_str());
+      return 1;
+    }
+    const auto& edges = *edges_or;
+    std::printf("\n%s (%zu edges)\n", dataset, edges.size());
+
+    std::printf(" volume cap factor sweep:\n");
+    for (const double cap : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+      tpsl::TwoPhasePartitioner::Options options;
+      options.clustering.volume_cap_factor = cap;
+      char label[64];
+      std::snprintf(label, sizeof(label), "cap=%.2f", cap);
+      Report(label, RunVariant(edges, options), edges.size());
+    }
+    {
+      tpsl::TwoPhasePartitioner::Options options;
+      options.clustering.enforce_volume_cap = false;
+      Report("cap disabled (Hollocou)", RunVariant(edges, options),
+             edges.size());
+    }
+
+    std::printf(" cluster-to-partition mapping:\n");
+    {
+      tpsl::TwoPhasePartitioner::Options options;
+      Report("Graham LPT (default)", RunVariant(edges, options),
+             edges.size());
+      options.scheduling =
+          tpsl::TwoPhasePartitioner::SchedulingMode::kRoundRobin;
+      Report("round robin", RunVariant(edges, options), edges.size());
+    }
+
+    std::printf(" scoring function:\n");
+    {
+      tpsl::TwoPhasePartitioner::Options options;
+      Report("with cluster-volume term", RunVariant(edges, options),
+             edges.size());
+      options.use_cluster_volume_term = false;
+      Report("without cluster-volume term", RunVariant(edges, options),
+             edges.size());
+    }
+  }
+  std::printf(
+      "\nExpected: small caps (0.1-0.5) beat large caps (volume-greedy "
+      "migration mixes communities; disabling the cap maximizes the "
+      "prepartitioned share but ruins rf AND balance-feasibility); "
+      "Graham clearly beats round robin; the cluster-volume scoring "
+      "term is roughly neutral at laptop scale.\n");
+  return 0;
+}

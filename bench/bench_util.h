@@ -1,0 +1,95 @@
+#ifndef TPSL_BENCH_BENCH_UTIL_H_
+#define TPSL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "graph/datasets.h"
+#include "graph/in_memory_edge_stream.h"
+#include "partition/runner.h"
+#include "util/logging.h"
+
+namespace tpsl {
+namespace bench {
+
+/// All experiment binaries shrink the paper's graphs by
+/// 2^TPSL_SCALE_SHIFT (environment variable) relative to the repo's
+/// default benchmark size; the default keeps every binary in the
+/// seconds-to-minutes range on a laptop.
+inline int ScaleShift(int default_shift) {
+  const char* env = std::getenv("TPSL_SCALE_SHIFT");
+  if (env != nullptr) {
+    return std::atoi(env);
+  }
+  return default_shift;
+}
+
+/// One partitioning measurement: quality + run-time as the paper
+/// reports them (run-time is the partitioner's own phase accounting;
+/// harness overheads like metric computation are excluded).
+struct Measurement {
+  std::string partitioner;
+  std::string dataset;
+  uint32_t k = 0;
+  double replication_factor = 0.0;
+  double seconds = 0.0;
+  double measured_alpha = 0.0;
+  uint64_t state_bytes = 0;
+  PartitionStats stats;
+};
+
+inline StatusOr<Measurement> MeasureOnEdges(const std::string& partitioner,
+                                            const std::string& dataset,
+                                            const std::vector<Edge>& edges,
+                                            uint32_t k) {
+  TPSL_ASSIGN_OR_RETURN(std::unique_ptr<Partitioner> p,
+                        MakePartitioner(partitioner));
+  InMemoryEdgeStream stream(edges);
+  PartitionConfig config;
+  config.num_partitions = k;
+  TPSL_ASSIGN_OR_RETURN(RunResult result, RunPartitioner(*p, stream, config));
+
+  Measurement m;
+  m.partitioner = partitioner;
+  m.dataset = dataset;
+  m.k = k;
+  m.replication_factor = result.quality.replication_factor;
+  m.seconds = result.stats.TotalSeconds();
+  m.measured_alpha = result.quality.measured_alpha;
+  m.state_bytes = result.stats.state_bytes;
+  m.stats = result.stats;
+  return m;
+}
+
+inline StatusOr<Measurement> Measure(const std::string& partitioner,
+                                     const std::string& dataset, uint32_t k,
+                                     int scale_shift) {
+  TPSL_ASSIGN_OR_RETURN(std::vector<Edge> edges,
+                        LoadDataset(dataset, scale_shift));
+  return MeasureOnEdges(partitioner, dataset, edges, k);
+}
+
+/// Prints a header like the paper's experiment tables.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRowHeader() {
+  std::printf("%-10s %-8s %6s %10s %12s %10s %14s\n", "partitioner",
+              "dataset", "k", "rf", "time(s)", "alpha", "state(bytes)");
+}
+
+inline void PrintRow(const Measurement& m) {
+  std::printf("%-10s %-8s %6u %10.3f %12.4f %10.3f %14llu\n",
+              m.partitioner.c_str(), m.dataset.c_str(), m.k,
+              m.replication_factor, m.seconds, m.measured_alpha,
+              static_cast<unsigned long long>(m.state_bytes));
+}
+
+}  // namespace bench
+}  // namespace tpsl
+
+#endif  // TPSL_BENCH_BENCH_UTIL_H_

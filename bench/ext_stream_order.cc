@@ -1,0 +1,48 @@
+// Extension experiment: sensitivity of streaming partitioners to the
+// edge stream order (the paper's related work cites Awadelkarim &
+// Ugander, KDD'20 on stream-order effects). Compares random shuffle,
+// source-sorted (the order of SNAP/WebGraph dumps), and adversarial
+// reverse-sorted order for 2PS-L, HDRF and Greedy on the OK config.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  const int shift = tpsl::bench::ScaleShift(2);
+  auto edges_or = tpsl::LoadDataset("OK", shift);
+  if (!edges_or.ok()) {
+    std::fprintf(stderr, "%s\n", edges_or.status().ToString().c_str());
+    return 1;
+  }
+
+  tpsl::bench::PrintHeader("Extension: stream-order sensitivity (OK, k=32)");
+  std::printf("%-10s %14s %14s %14s\n", "method", "shuffled", "sorted",
+              "reversed");
+
+  std::vector<tpsl::Edge> shuffled = *edges_or;  // generator shuffles
+  std::vector<tpsl::Edge> sorted = *edges_or;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<tpsl::Edge> reversed = sorted;
+  std::reverse(reversed.begin(), reversed.end());
+
+  for (const char* name : {"2PS-L", "HDRF", "Greedy", "DBH"}) {
+    double rf[3];
+    const std::vector<tpsl::Edge>* orders[3] = {&shuffled, &sorted,
+                                                &reversed};
+    for (int i = 0; i < 3; ++i) {
+      auto m = tpsl::bench::MeasureOnEdges(name, "OK", *orders[i], 32);
+      if (!m.ok()) {
+        std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+        return 1;
+      }
+      rf[i] = m->replication_factor;
+    }
+    std::printf("%-10s %14.3f %14.3f %14.3f\n", name, rf[0], rf[1], rf[2]);
+  }
+  std::printf(
+      "\nExpected: DBH is order-invariant (pure hashing); the stateful "
+      "partitioners shift by a few percent across orders — 2PS-L's "
+      "preprocessing makes it comparatively order-robust.\n");
+  return 0;
+}

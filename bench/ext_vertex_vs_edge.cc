@@ -1,0 +1,95 @@
+// Extension experiment reproducing the paper's *premise* (§I, citing
+// Bourse et al., KDD'14): on skewed power-law graphs, edge
+// partitioning (vertex cut) yields lower communication cost than
+// vertex partitioning (edge cut). Compares FENNEL vertex partitioning
+// against 2PS-L edge partitioning on a skewed social graph and a
+// low-skew uniform graph, using the per-algorithm communication
+// proxy: cut edges (vertex partitioning) vs mirror count Σ(replicas−1)
+// (edge partitioning), both normalized per edge.
+#include <cstdio>
+
+#include "baselines/fennel.h"
+#include "bench/bench_util.h"
+#include "core/two_phase_partitioner.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/in_memory_edge_stream.h"
+#include "partition/runner.h"
+
+namespace {
+
+struct Row {
+  double vertex_cut_fraction;
+  double edge_mirrors_per_edge;
+};
+
+tpsl::StatusOr<Row> Compare(const std::vector<tpsl::Edge>& edges,
+                            uint32_t k) {
+  Row row;
+  // Vertex partitioning: FENNEL.
+  const tpsl::CsrGraph graph = tpsl::CsrGraph::FromEdges(edges);
+  tpsl::FennelConfig fennel_config;
+  fennel_config.num_partitions = k;
+  TPSL_ASSIGN_OR_RETURN(tpsl::VertexPartitioning vertex_result,
+                        tpsl::FennelPartition(graph, fennel_config));
+  row.vertex_cut_fraction = vertex_result.CutFraction();
+
+  // Edge partitioning: 2PS-L. Mirrors per edge = (Σ replicas − |V|) /
+  // |E|.
+  tpsl::TwoPhasePartitioner partitioner;
+  tpsl::InMemoryEdgeStream stream(edges);
+  tpsl::PartitionConfig config;
+  config.num_partitions = k;
+  TPSL_ASSIGN_OR_RETURN(tpsl::RunResult edge_result,
+                        tpsl::RunPartitioner(partitioner, stream, config));
+  const double mirrors = (edge_result.quality.replication_factor - 1.0) *
+                         static_cast<double>(
+                             edge_result.quality.num_covered_vertices);
+  row.edge_mirrors_per_edge = mirrors / static_cast<double>(edges.size());
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const int shift = tpsl::bench::ScaleShift(1);
+
+  tpsl::bench::PrintHeader(
+      "Extension: vertex partitioning (FENNEL) vs edge partitioning "
+      "(2PS-L)");
+  std::printf("%-22s %6s %18s %20s\n", "graph", "k", "cut-edges/|E|",
+              "mirrors/|E| (edge)");
+
+  tpsl::SocialNetworkConfig social;
+  social.num_vertices = tpsl::VertexId{1} << (15 - shift);
+  social.hub_fraction = 0.5;  // strong skew: the paper's regime
+  const auto skewed = tpsl::GenerateSocialNetwork(social);
+
+  tpsl::ErdosRenyiConfig uniform;
+  uniform.num_vertices = tpsl::VertexId{1} << (15 - shift);
+  uniform.num_edges = uint64_t{6} << (15 - shift);
+  const auto flat = tpsl::GenerateErdosRenyi(uniform);
+
+  for (const uint32_t k : {16u, 64u}) {
+    auto skew_row = Compare(skewed, k);
+    auto flat_row = Compare(flat, k);
+    if (!skew_row.ok() || !flat_row.ok()) {
+      std::fprintf(stderr, "comparison failed\n");
+      return 1;
+    }
+    std::printf("%-22s %6u %18.3f %20.3f\n", "social (power-law)", k,
+                skew_row->vertex_cut_fraction,
+                skew_row->edge_mirrors_per_edge);
+    std::printf("%-22s %6u %18.3f %20.3f\n", "uniform (ER)", k,
+                flat_row->vertex_cut_fraction,
+                flat_row->edge_mirrors_per_edge);
+  }
+  std::printf(
+      "\nExpected (paper premise, Bourse et al.): on the power-law graph "
+      "the edge partitioner's communication proxy beats the vertex "
+      "partitioner's at moderate k, and both methods degrade on the "
+      "structure-free uniform graph; the skewed graph is where the "
+      "vertex-cut advantage concentrates (hubs are replicated instead "
+      "of having all their edges cut).\n");
+  return 0;
+}

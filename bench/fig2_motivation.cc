@@ -1,0 +1,31 @@
+// Reproduces paper Fig. 2: replication factor and run-time of 2PS-L
+// vs HDRF (stateful) vs DBH (stateless) on the OK graph for
+// k ∈ {4, 32, 128, 256}. Expected shape: HDRF run-time grows linearly
+// with k while 2PS-L and DBH stay flat; 2PS-L has the best RF.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using tpsl::bench::Measure;
+  const int shift = tpsl::bench::ScaleShift(1);
+
+  tpsl::bench::PrintHeader("Fig. 2: motivation on OK graph");
+  tpsl::bench::PrintRowHeader();
+  for (const uint32_t k : {4u, 32u, 128u, 256u}) {
+    for (const char* name : {"2PS-L", "HDRF", "DBH"}) {
+      auto m = Measure(name, "OK", k, shift);
+      if (!m.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", name,
+                     m.status().ToString().c_str());
+        return 1;
+      }
+      tpsl::bench::PrintRow(*m);
+    }
+  }
+  std::printf(
+      "\nPaper shape check: HDRF time grows ~linearly in k; 2PS-L and DBH "
+      "are k-independent;\n2PS-L has the lowest replication factor at "
+      "every k.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces paper Fig. 5: relative run-time of the 2PS-L phases
+// (degree computation, streaming clustering, partitioning) at k = 32
+// on every dataset. Paper: degree 7-20%, clustering 16-22%,
+// partitioning 58-77%.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using tpsl::bench::Measure;
+  const int shift = tpsl::bench::ScaleShift(2);
+
+  tpsl::bench::PrintHeader("Fig. 5: 2PS-L phase breakdown at k=32");
+  std::printf("%-8s %10s %12s %14s %12s\n", "dataset", "degree%",
+              "clustering%", "partitioning%", "total(s)");
+  for (const tpsl::DatasetSpec& spec : tpsl::AllDatasets()) {
+    auto m = Measure("2PS-L", spec.name, 32, shift);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    const double total = m->stats.TotalSeconds();
+    const auto share = [&](const char* phase) {
+      const auto it = m->stats.phase_seconds.find(phase);
+      return it == m->stats.phase_seconds.end()
+                 ? 0.0
+                 : 100.0 * it->second / total;
+    };
+    std::printf("%-8s %10.1f %12.1f %14.1f %12.4f\n", spec.name.c_str(),
+                share("degree"), share("clustering"), share("partitioning"),
+                total);
+  }
+  std::printf(
+      "\nPaper shape check: partitioning dominates (>50%%), degree and "
+      "clustering are minor; web graphs spend relatively less time in "
+      "partitioning than social graphs.\n");
+  return 0;
+}

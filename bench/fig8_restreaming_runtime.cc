@@ -1,0 +1,56 @@
+// Reproduces paper Fig. 8: total 2PS-L run-time (normalized to
+// single-pass clustering) vs the number of streaming clustering passes
+// (1..8) at k = 32. Paper: 8 passes roughly double total run-time,
+// because clustering is only a minor share of the total (Fig. 5).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/two_phase_partitioner.h"
+
+int main() {
+  const int shift = tpsl::bench::ScaleShift(2);
+
+  tpsl::bench::PrintHeader(
+      "Fig. 8: normalized total run-time vs clustering passes, k=32");
+  std::printf("%-8s", "dataset");
+  for (int pass = 1; pass <= 8; ++pass) {
+    std::printf(" %8s%d", "pass", pass);
+  }
+  std::printf("\n");
+
+  for (const tpsl::DatasetSpec& spec : tpsl::RestreamingStudyDatasets()) {
+    auto edges_or = tpsl::LoadDataset(spec.name, shift);
+    if (!edges_or.ok()) {
+      std::fprintf(stderr, "%s\n", edges_or.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8s", spec.name.c_str());
+    double baseline = 0;
+    for (uint32_t passes = 1; passes <= 8; ++passes) {
+      tpsl::TwoPhasePartitioner::Options options;
+      options.clustering.num_passes = passes;
+      tpsl::TwoPhasePartitioner partitioner(options);
+      tpsl::InMemoryEdgeStream stream(*edges_or);
+      tpsl::PartitionConfig config;
+      config.num_partitions = 32;
+      tpsl::CountingSink sink(32);
+      tpsl::PartitionStats stats;
+      const tpsl::Status status =
+          partitioner.Partition(stream, config, sink, &stats);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      const double seconds = stats.TotalSeconds();
+      if (passes == 1) {
+        baseline = seconds;
+      }
+      std::printf(" %9.3f", seconds / baseline);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape check: run-time grows sub-linearly in passes "
+      "(~2x at 8 passes), never ~8x.\n");
+  return 0;
+}

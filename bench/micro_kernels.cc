@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks of the hot kernels: scoring
+// functions, streaming clustering throughput, replication-table
+// updates, and edge-stream delivery. These quantify the per-edge
+// constant factors behind the O(|E|) vs O(|E|*k) distinction of paper
+// Table I.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/scoring.h"
+#include "core/streaming_clustering.h"
+#include "graph/degrees.h"
+#include "graph/generators.h"
+#include "graph/in_memory_edge_stream.h"
+#include "partition/replication_table.h"
+
+namespace tpsl {
+namespace {
+
+std::vector<Edge> BenchGraph() {
+  RmatConfig config;
+  config.scale = 14;
+  config.edge_factor = 8;
+  return GenerateRmat(config);
+}
+
+void BM_TwopsScoreTwoCandidates(benchmark::State& state) {
+  ReplicationTable replicas(1024, 32);
+  replicas.Set(1, 3);
+  replicas.Set(2, 7);
+  for (auto _ : state) {
+    double total = 0;
+    total += TwopsScore(replicas, 1, 2, 10, 20, 100, 200, true, false, 3);
+    total += TwopsScore(replicas, 1, 2, 10, 20, 100, 200, false, true, 7);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_TwopsScoreTwoCandidates);
+
+void BM_HdrfScoreAllPartitions(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  ReplicationTable replicas(1024, k);
+  replicas.Set(1, 0);
+  std::vector<uint64_t> loads(k, 100);
+  for (auto _ : state) {
+    double best = -1;
+    for (PartitionId p = 0; p < k; ++p) {
+      const double score =
+          HdrfReplicationScore(replicas.Test(1, p), replicas.Test(2, p), 10,
+                               20) +
+          HdrfBalanceScore(loads[p], 200, 100, 1.1);
+      if (score > best) {
+        best = score;
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_HdrfScoreAllPartitions)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_StreamingClusteringPass(benchmark::State& state) {
+  const auto edges = BenchGraph();
+  InMemoryEdgeStream stream(edges);
+  auto degrees = ComputeDegrees(stream);
+  for (auto _ : state) {
+    ClusteringConfig config;
+    auto clustering = StreamingClustering(stream, *degrees, 32, config);
+    benchmark::DoNotOptimize(clustering);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_StreamingClusteringPass);
+
+void BM_DegreeComputation(benchmark::State& state) {
+  const auto edges = BenchGraph();
+  InMemoryEdgeStream stream(edges);
+  for (auto _ : state) {
+    auto degrees = ComputeDegrees(stream);
+    benchmark::DoNotOptimize(degrees);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_DegreeComputation);
+
+void BM_ReplicationTableSetTest(benchmark::State& state) {
+  ReplicationTable table(1 << 16, 64);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const VertexId v = static_cast<VertexId>(i % (1 << 16));
+    const PartitionId p = static_cast<PartitionId>(i % 64);
+    table.Set(v, p);
+    benchmark::DoNotOptimize(table.Test(v, p));
+    ++i;
+  }
+}
+BENCHMARK(BM_ReplicationTableSetTest);
+
+void BM_EdgeStreamDelivery(benchmark::State& state) {
+  const auto edges = BenchGraph();
+  InMemoryEdgeStream stream(edges);
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    auto status = ForEachEdge(stream, [&checksum](const Edge& e) {
+      checksum += e.first ^ e.second;
+    });
+    benchmark::DoNotOptimize(checksum);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_EdgeStreamDelivery);
+
+}  // namespace
+}  // namespace tpsl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Empirically verifies the time-complexity claims of paper Table I:
+//  * 2PS-L / DBH run-time is linear in |E| and independent of k.
+//  * HDRF / Greedy run-time is linear in |E| * k.
+// Prints run-times for doubling |E| at fixed k, and doubling k at
+// fixed |E|, with growth ratios.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/generators.h"
+
+namespace {
+
+std::vector<tpsl::Edge> Rmat(uint32_t scale) {
+  tpsl::RmatConfig config;
+  config.scale = scale;
+  config.edge_factor = 8;
+  return tpsl::GenerateRmat(config);
+}
+
+}  // namespace
+
+int main() {
+  using tpsl::bench::MeasureOnEdges;
+  const int shift = tpsl::bench::ScaleShift(0);
+  const uint32_t base_scale = static_cast<uint32_t>(15 - shift);
+
+  tpsl::bench::PrintHeader("Table I (empirical): run-time vs |E| at k=32");
+  std::printf("%-10s %12s %14s %12s %8s\n", "partitioner", "scale", "|E|",
+              "time(s)", "ratio");
+  for (const char* name : {"2PS-L", "HDRF", "DBH", "Greedy"}) {
+    double previous = 0;
+    for (uint32_t scale = base_scale; scale <= base_scale + 2; ++scale) {
+      const auto edges = Rmat(scale);
+      auto m = MeasureOnEdges(name, "rmat", edges, 32);
+      if (!m.ok()) {
+        std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-10s %12u %14zu %12.4f %8.2f\n", name, scale,
+                  edges.size(), m->seconds,
+                  previous > 0 ? m->seconds / previous : 0.0);
+      previous = m->seconds;
+    }
+  }
+  std::printf("Expected: ratio ~2.0 for all (doubling |E| doubles time).\n");
+
+  tpsl::bench::PrintHeader("Table I (empirical): run-time vs k at fixed |E|");
+  std::printf("%-10s %6s %12s %8s\n", "partitioner", "k", "time(s)", "ratio");
+  const auto edges = Rmat(base_scale + 1);
+  for (const char* name : {"2PS-L", "HDRF", "DBH", "Greedy"}) {
+    double previous = 0;
+    for (const uint32_t k : {16u, 64u, 256u}) {
+      auto m = MeasureOnEdges(name, "rmat", edges, k);
+      if (!m.ok()) {
+        std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-10s %6u %12.4f %8.2f\n", name, k, m->seconds,
+                  previous > 0 ? m->seconds / previous : 0.0);
+      previous = m->seconds;
+    }
+  }
+  std::printf(
+      "Expected: 2PS-L and DBH ratios ~1.0 (k-independent); HDRF and "
+      "Greedy ratios ~4.0 (O(|E|*k)).\n");
+  return 0;
+}

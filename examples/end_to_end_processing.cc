@@ -1,0 +1,71 @@
+// End-to-end scenario (the paper's Table IV argument): choosing a
+// partitioner by partitioning speed alone, or by quality alone, both
+// lose. This example partitions a graph with three strategies and runs
+// 100 iterations of distributed PageRank on the simulated cluster; the
+// total (partitioning + processing) decides.
+#include <cstdio>
+#include <string>
+
+#include "baselines/registry.h"
+#include "graph/datasets.h"
+#include "graph/in_memory_edge_stream.h"
+#include "partition/runner.h"
+#include "procsim/distributed_pagerank.h"
+
+int main() {
+  auto edges_or = tpsl::LoadDataset("WI", /*scale_shift=*/2);
+  if (!edges_or.ok()) {
+    std::fprintf(stderr, "%s\n", edges_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("WI-like graph: %zu edges, 32-worker simulated cluster, "
+              "PageRank x100\n\n",
+              edges_or->size());
+  std::printf("%-10s %8s %14s %14s %12s\n", "name", "rf", "partition(s)",
+              "pagerank(s)", "total(s)");
+
+  double best_total = 1e30;
+  std::string best_name;
+  for (const char* name : {"DBH", "HDRF", "2PS-L"}) {
+    auto partitioner_or = tpsl::MakePartitioner(name);
+    if (!partitioner_or.ok()) {
+      return 1;
+    }
+    tpsl::InMemoryEdgeStream stream(*edges_or);
+    tpsl::PartitionConfig config;
+    config.num_partitions = 32;
+    tpsl::RunOptions options;
+    options.keep_partitions = true;
+    options.validate = false;
+    auto run_or =
+        tpsl::RunPartitioner(**partitioner_or, stream, config, options);
+    if (!run_or.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name,
+                   run_or.status().ToString().c_str());
+      return 1;
+    }
+
+    tpsl::PageRankConfig pagerank;
+    pagerank.iterations = 100;
+    auto sim_or =
+        tpsl::SimulateDistributedPageRank(run_or->partitions, pagerank, {});
+    if (!sim_or.ok()) {
+      std::fprintf(stderr, "%s\n", sim_or.status().ToString().c_str());
+      return 1;
+    }
+    const double partition_seconds = run_or->stats.TotalSeconds();
+    const double total = partition_seconds + sim_or->simulated_seconds;
+    std::printf("%-10s %8.2f %14.3f %14.3f %12.3f\n", name,
+                run_or->quality.replication_factor, partition_seconds,
+                sim_or->simulated_seconds, total);
+    if (total < best_total) {
+      best_total = total;
+      best_name = name;
+    }
+  }
+  std::printf("\nwinner end-to-end: %s — fast partitioning alone (DBH) "
+              "pays in PageRank sync traffic;\nexpensive scoring (HDRF) "
+              "pays upfront; 2PS-L balances both.\n",
+              best_name.c_str());
+  return 0;
+}

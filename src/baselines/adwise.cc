@@ -1,0 +1,127 @@
+#include "baselines/adwise.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/scoring.h"
+#include "graph/degrees.h"
+#include "partition/replication_table.h"
+#include "util/timer.h"
+
+namespace tpsl {
+namespace {
+
+struct ScoredEdge {
+  Edge edge;
+  PartitionId best_partition;
+  double best_score;
+};
+
+}  // namespace
+
+Status AdwisePartitioner::Partition(EdgeStream& stream,
+                                    const PartitionConfig& config,
+                                    AssignmentSink& sink,
+                                    PartitionStats* stats) {
+  if (config.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (options_.window_size == 0) {
+    return Status::InvalidArgument("window_size must be positive");
+  }
+  PartitionStats local;
+  PartitionStats& out = stats != nullptr ? *stats : local;
+
+  DegreeTable degrees;
+  {
+    ScopedTimer timer(&out.phase_seconds["degree"]);
+    TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
+  }
+  out.stream_passes += 1;
+
+  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  const uint32_t k = config.num_partitions;
+  const uint64_t capacity = config.PartitionCapacity(degrees.num_edges);
+  ReplicationTable replicas(degrees.num_vertices(), k);
+  std::vector<uint64_t> loads(k, 0);
+  out.state_bytes = replicas.HeapBytes() + loads.size() * sizeof(uint64_t) +
+                    degrees.degrees.size() * sizeof(uint32_t) +
+                    options_.window_size * sizeof(ScoredEdge);
+
+  std::vector<ScoredEdge> window;
+  window.reserve(options_.window_size);
+
+  const auto score_edge = [&](const Edge& e) -> ScoredEdge {
+    const uint32_t du = degrees.degree(e.first);
+    const uint32_t dv = degrees.degree(e.second);
+    uint64_t max_load = 0, min_load = loads[0];
+    for (const uint64_t load : loads) {
+      max_load = std::max(max_load, load);
+      min_load = std::min(min_load, load);
+    }
+    ScoredEdge scored{e, kInvalidPartition, -1.0};
+    for (PartitionId p = 0; p < k; ++p) {
+      if (loads[p] >= capacity) {
+        continue;
+      }
+      const double score =
+          HdrfReplicationScore(replicas.Test(e.first, p),
+                               replicas.Test(e.second, p), du, dv) +
+          HdrfBalanceScore(loads[p], max_load, min_load, options_.lambda);
+      if (score > scored.best_score) {
+        scored.best_score = score;
+        scored.best_partition = p;
+      }
+    }
+    return scored;
+  };
+
+  const auto assign = [&](const ScoredEdge& scored) {
+    const PartitionId p = scored.best_partition;
+    replicas.Set(scored.edge.first, p);
+    replicas.Set(scored.edge.second, p);
+    ++loads[p];
+    sink.Assign(scored.edge, p);
+  };
+
+  // Drains the most confident half of the window: re-scores every
+  // buffered edge against current state, sorts by descending score and
+  // assigns the top `amount`.
+  const auto drain = [&](size_t amount) {
+    for (ScoredEdge& scored : window) {
+      scored = score_edge(scored.edge);
+    }
+    std::stable_sort(window.begin(), window.end(),
+                     [](const ScoredEdge& a, const ScoredEdge& b) {
+                       return a.best_score > b.best_score;
+                     });
+    amount = std::min(amount, window.size());
+    for (size_t i = 0; i < amount; ++i) {
+      // Re-score lazily: loads move as the window drains, so the best
+      // partition may have filled up.
+      ScoredEdge fresh = score_edge(window[i].edge);
+      assign(fresh);
+    }
+    window.erase(window.begin(), window.begin() + amount);
+  };
+
+  TPSL_RETURN_IF_ERROR(stream.Reset());
+  constexpr size_t kBatch = 1024;
+  Edge buffer[kBatch];
+  size_t n;
+  while ((n = stream.Next(buffer, kBatch)) > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      window.push_back(ScoredEdge{buffer[i], kInvalidPartition, -1.0});
+      if (window.size() >= options_.window_size) {
+        drain(options_.window_size / 2 + 1);
+      }
+    }
+  }
+  while (!window.empty()) {
+    drain(window.size());
+  }
+  out.stream_passes += 1;
+  return Status::OK();
+}
+
+}  // namespace tpsl

@@ -1,0 +1,42 @@
+#include "baselines/dbh.h"
+
+#include "graph/degrees.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace tpsl {
+
+Status DbhPartitioner::Partition(EdgeStream& stream,
+                                 const PartitionConfig& config,
+                                 AssignmentSink& sink,
+                                 PartitionStats* stats) {
+  if (config.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  PartitionStats local;
+  PartitionStats& out = stats != nullptr ? *stats : local;
+
+  DegreeTable degrees;
+  {
+    ScopedTimer timer(&out.phase_seconds["degree"]);
+    TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
+  }
+  out.stream_passes += 1;
+  out.state_bytes = degrees.degrees.size() * sizeof(uint32_t);
+
+  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  const uint32_t k = config.num_partitions;
+  const uint64_t seed = config.seed;
+  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
+    // Hash the endpoint with the smaller degree (ties: smaller id).
+    const VertexId pivot =
+        degrees.degree(e.first) <= degrees.degree(e.second) ? e.first
+                                                            : e.second;
+    sink.Assign(
+        e, static_cast<PartitionId>(Mix64(HashCombine(seed, pivot)) % k));
+  }));
+  out.stream_passes += 1;
+  return Status::OK();
+}
+
+}  // namespace tpsl

@@ -1,0 +1,30 @@
+#ifndef TPSL_BASELINES_DBH_H_
+#define TPSL_BASELINES_DBH_H_
+
+#include <string>
+
+#include "partition/partitioner.h"
+
+namespace tpsl {
+
+/// Degree-Based Hashing (Xie et al., NeurIPS'14): hashes each edge on
+/// the ID of its lower-degree endpoint, cutting preferentially through
+/// high-degree vertices of power-law graphs. The fastest streaming
+/// baseline in the paper's evaluation (stateless, O(|V|) state for the
+/// degree table).
+///
+/// This implementation computes exact degrees in an upfront streaming
+/// pass (2 passes total), matching the paper's framework where all
+/// partitioners ingest the same binary edge stream.
+class DbhPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "DBH"; }
+  bool enforces_balance_cap() const override { return false; }
+
+  Status Partition(EdgeStream& stream, const PartitionConfig& config,
+                   AssignmentSink& sink, PartitionStats* stats) override;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_BASELINES_DBH_H_

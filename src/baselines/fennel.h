@@ -1,0 +1,51 @@
+#ifndef TPSL_BASELINES_FENNEL_H_
+#define TPSL_BASELINES_FENNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// FENNEL streaming *vertex* partitioning (Tsourakakis et al.,
+/// WSDM'14) — the other side of the paper's premise (§I, §II): vertex
+/// partitioning cuts edges, edge partitioning cuts vertices, and on
+/// power-law graphs edge partitioning finds better cuts (Bourse et
+/// al., KDD'14). This module exists to reproduce that premise
+/// empirically (bench/ext_vertex_vs_edge).
+///
+/// Vertices arrive in id order; each is placed on the partition
+/// maximizing  |N(v) ∩ P_i| − α·γ·|P_i|^(γ−1)  subject to a hard
+/// vertex-count cap, with the standard parameters γ = 1.5,
+/// α = √k·|E| / |V|^1.5.
+struct FennelConfig {
+  uint32_t num_partitions = 32;
+  double gamma = 1.5;
+  /// Vertex-count balance slack (hard cap ν·|V|/k).
+  double balance_factor = 1.10;
+};
+
+struct VertexPartitioning {
+  std::vector<PartitionId> vertex_partition;
+  /// Edges whose endpoints fall in different partitions — the
+  /// communication cost proxy of vertex partitioning.
+  uint64_t cut_edges = 0;
+  uint64_t num_edges = 0;
+  std::vector<uint64_t> partition_sizes;  // vertices per partition
+
+  double CutFraction() const {
+    return num_edges == 0
+               ? 0.0
+               : static_cast<double>(cut_edges) / static_cast<double>(num_edges);
+  }
+};
+
+StatusOr<VertexPartitioning> FennelPartition(const CsrGraph& graph,
+                                             const FennelConfig& config);
+
+}  // namespace tpsl
+
+#endif  // TPSL_BASELINES_FENNEL_H_

@@ -1,0 +1,27 @@
+#ifndef TPSL_BASELINES_GRID_H_
+#define TPSL_BASELINES_GRID_H_
+
+#include <string>
+
+#include "partition/partitioner.h"
+
+namespace tpsl {
+
+/// Grid partitioning (GraphBuilder, Jain et al., GRADES'13): partitions
+/// are arranged in an r × c grid; each vertex hashes to a (row, column)
+/// shard, and an edge may only be placed in a cell shared by the
+/// constraint sets of its endpoints. We consider the two crossing cells
+/// (row_u, col_v) and (row_v, col_u) and take the less loaded one.
+/// Stateless except for O(k) load counters.
+class GridPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "Grid"; }
+  bool enforces_balance_cap() const override { return false; }
+
+  Status Partition(EdgeStream& stream, const PartitionConfig& config,
+                   AssignmentSink& sink, PartitionStats* stats) override;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_BASELINES_GRID_H_

@@ -1,0 +1,31 @@
+#include "baselines/hash.h"
+
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace tpsl {
+
+Status HashPartitioner::Partition(EdgeStream& stream,
+                                  const PartitionConfig& config,
+                                  AssignmentSink& sink,
+                                  PartitionStats* stats) {
+  if (config.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  PartitionStats local;
+  PartitionStats& out = stats != nullptr ? *stats : local;
+  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+
+  const uint32_t k = config.num_partitions;
+  const uint64_t seed = config.seed;
+  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
+    const uint64_t key =
+        (static_cast<uint64_t>(e.first) << 32) | e.second;
+    sink.Assign(e, static_cast<PartitionId>(Mix64(HashCombine(seed, key)) % k));
+  }));
+  out.stream_passes += 1;
+  out.state_bytes = 0;
+  return Status::OK();
+}
+
+}  // namespace tpsl

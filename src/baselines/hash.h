@@ -1,0 +1,26 @@
+#ifndef TPSL_BASELINES_HASH_H_
+#define TPSL_BASELINES_HASH_H_
+
+#include <string>
+
+#include "partition/partitioner.h"
+
+namespace tpsl {
+
+/// Uniform random hashing of whole edges — the weakest stateless
+/// baseline, and the strategy production systems fall back to when
+/// stateful partitioning is too slow (the paper's P3 example). One
+/// streaming pass, O(1) state, no balance guarantee beyond hashing
+/// uniformity.
+class HashPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "Hash"; }
+  bool enforces_balance_cap() const override { return false; }
+
+  Status Partition(EdgeStream& stream, const PartitionConfig& config,
+                   AssignmentSink& sink, PartitionStats* stats) override;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_BASELINES_HASH_H_

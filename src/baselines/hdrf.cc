@@ -1,0 +1,78 @@
+#include "baselines/hdrf.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/scoring.h"
+#include "graph/degrees.h"
+#include "partition/replication_table.h"
+#include "util/timer.h"
+
+namespace tpsl {
+
+Status HdrfPartitioner::Partition(EdgeStream& stream,
+                                  const PartitionConfig& config,
+                                  AssignmentSink& sink,
+                                  PartitionStats* stats) {
+  if (config.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  PartitionStats local;
+  PartitionStats& out = stats != nullptr ? *stats : local;
+
+  // HDRF proper is single-pass with partial degrees; we only need a
+  // cheap upfront pass to size the state arrays and learn |E| for the
+  // hard capacity bound (the paper's framework streams a binary file
+  // whose |E| is known from the file size).
+  DegreeTable degrees;
+  {
+    ScopedTimer timer(&out.phase_seconds["degree"]);
+    TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
+  }
+  out.stream_passes += 1;
+
+  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  const uint32_t k = config.num_partitions;
+  const uint64_t capacity = config.PartitionCapacity(degrees.num_edges);
+  const VertexId num_vertices = degrees.num_vertices();
+
+  ReplicationTable replicas(num_vertices, k);
+  std::vector<uint64_t> loads(k, 0);
+  std::vector<uint32_t> partial_degree(num_vertices, 0);
+  out.state_bytes = replicas.HeapBytes() + loads.size() * sizeof(uint64_t) +
+                    partial_degree.size() * sizeof(uint32_t);
+
+  uint64_t max_load = 0;
+  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
+    ++partial_degree[e.first];
+    ++partial_degree[e.second];
+    const uint32_t du = partial_degree[e.first];
+    const uint32_t dv = partial_degree[e.second];
+
+    const uint64_t min_load = *std::min_element(loads.begin(), loads.end());
+    double best_score = -1.0;
+    PartitionId target = kInvalidPartition;
+    for (PartitionId p = 0; p < k; ++p) {
+      if (loads[p] >= capacity) {
+        continue;  // Hard cap: full partitions are not candidates.
+      }
+      const double score =
+          HdrfReplicationScore(replicas.Test(e.first, p),
+                               replicas.Test(e.second, p), du, dv) +
+          HdrfBalanceScore(loads[p], max_load, min_load, options_.lambda);
+      if (score > best_score) {
+        best_score = score;
+        target = p;
+      }
+    }
+    replicas.Set(e.first, target);
+    replicas.Set(e.second, target);
+    ++loads[target];
+    max_load = std::max(max_load, loads[target]);
+    sink.Assign(e, target);
+  }));
+  out.stream_passes += 1;
+  return Status::OK();
+}
+
+}  // namespace tpsl

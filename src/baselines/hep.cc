@@ -1,0 +1,146 @@
+#include "baselines/hep.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/ne.h"
+#include "core/scoring.h"
+#include "graph/degrees.h"
+#include "partition/replication_table.h"
+#include "util/timer.h"
+
+namespace tpsl {
+namespace {
+
+/// Forwards expansion assignments while maintaining the replication
+/// table and load counters shared with the streaming phase.
+class StateTrackingSink : public AssignmentSink {
+ public:
+  StateTrackingSink(AssignmentSink* inner, ReplicationTable* replicas,
+                    std::vector<uint64_t>* loads)
+      : inner_(inner), replicas_(replicas), loads_(loads) {}
+
+  void Assign(const Edge& edge, PartitionId partition) override {
+    replicas_->Set(edge.first, partition);
+    replicas_->Set(edge.second, partition);
+    ++(*loads_)[partition];
+    inner_->Assign(edge, partition);
+  }
+
+ private:
+  AssignmentSink* inner_;
+  ReplicationTable* replicas_;
+  std::vector<uint64_t>* loads_;
+};
+
+}  // namespace
+
+Status HepPartitioner::Partition(EdgeStream& stream,
+                                 const PartitionConfig& config,
+                                 AssignmentSink& sink,
+                                 PartitionStats* stats) {
+  if (config.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (options_.tau <= 0) {
+    return Status::InvalidArgument("tau must be positive");
+  }
+  PartitionStats local;
+  PartitionStats& out = stats != nullptr ? *stats : local;
+
+  DegreeTable degrees;
+  {
+    ScopedTimer timer(&out.phase_seconds["degree"]);
+    TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
+  }
+  out.stream_passes += 1;
+
+  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  const uint32_t k = config.num_partitions;
+  const uint64_t capacity = config.PartitionCapacity(degrees.num_edges);
+  const VertexId num_vertices = degrees.num_vertices();
+
+  uint64_t covered = 0;
+  for (const uint32_t d : degrees.degrees) {
+    covered += d > 0 ? 1 : 0;
+  }
+  const double mean_degree =
+      covered > 0 ? static_cast<double>(degrees.TotalVolume()) / covered : 0;
+  const double threshold = options_.tau * mean_degree;
+
+  const auto is_low = [&](const Edge& e) {
+    return degrees.degree(e.first) <= threshold &&
+           degrees.degree(e.second) <= threshold;
+  };
+
+  ReplicationTable replicas(num_vertices, k);
+  std::vector<uint64_t> loads(k, 0);
+  StateTrackingSink tracking_sink(&sink, &replicas, &loads);
+
+  // --- In-memory phase: collect and expand the low-degree edges. ---
+  std::vector<Edge> low_edges;
+  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
+    if (is_low(e)) {
+      low_edges.push_back(e);
+    }
+  }));
+  out.stream_passes += 1;
+
+  uint64_t expansion_bytes = 0;
+  if (!low_edges.empty()) {
+    VertexId max_id = 0;
+    for (const Edge& e : low_edges) {
+      max_id = std::max({max_id, e.first, e.second});
+    }
+    const expansion::IndexedAdjacency adjacency =
+        expansion::IndexedAdjacency::Build(low_edges, max_id + 1);
+    expansion::Expander expander(&low_edges, &adjacency);
+    expansion_bytes = low_edges.size() * sizeof(Edge) +
+                      adjacency.HeapBytes() + expander.HeapBytes();
+
+    const uint64_t share = (low_edges.size() + k - 1) / k;
+    for (PartitionId p = 0; p < k; ++p) {
+      expander.Expand(p, share, tracking_sink);
+    }
+    for (PartitionId p = 0; p < k && expander.UnclaimedEdges() > 0; ++p) {
+      expander.Expand(p, capacity - loads[p], tracking_sink);
+    }
+  }
+
+  // --- Streaming phase: HDRF over the high-degree edges, seeded with
+  // the replication state of the in-memory phase. ---
+  uint64_t max_load = *std::max_element(loads.begin(), loads.end());
+  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
+    if (is_low(e)) {
+      return;  // Already assigned in the in-memory phase.
+    }
+    const uint32_t du = degrees.degree(e.first);
+    const uint32_t dv = degrees.degree(e.second);
+    const uint64_t min_load = *std::min_element(loads.begin(), loads.end());
+    double best_score = -1.0;
+    PartitionId target = kInvalidPartition;
+    for (PartitionId p = 0; p < k; ++p) {
+      if (loads[p] >= capacity) {
+        continue;
+      }
+      const double score =
+          HdrfReplicationScore(replicas.Test(e.first, p),
+                               replicas.Test(e.second, p), du, dv) +
+          HdrfBalanceScore(loads[p], max_load, min_load, options_.lambda);
+      if (score > best_score) {
+        best_score = score;
+        target = p;
+      }
+    }
+    tracking_sink.Assign(e, target);
+    max_load = std::max(max_load, loads[target]);
+  }));
+  out.stream_passes += 1;
+
+  out.state_bytes = replicas.HeapBytes() + loads.size() * sizeof(uint64_t) +
+                    degrees.degrees.size() * sizeof(uint32_t) +
+                    expansion_bytes;
+  return Status::OK();
+}
+
+}  // namespace tpsl

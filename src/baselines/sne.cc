@@ -1,0 +1,135 @@
+#include "baselines/sne.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "baselines/ne.h"
+#include "graph/degrees.h"
+#include "util/timer.h"
+
+namespace tpsl {
+namespace {
+
+/// Routes expansion output through a load-aware indirection: the
+/// expander claims edges for a "slot", the adapter maps the slot to the
+/// real partition chosen for this expansion round.
+class RedirectSink : public AssignmentSink {
+ public:
+  RedirectSink(AssignmentSink* inner, std::vector<uint64_t>* loads)
+      : inner_(inner), loads_(loads) {}
+
+  void SetTarget(PartitionId target) { target_ = target; }
+
+  void Assign(const Edge& edge, PartitionId /*slot*/) override {
+    inner_->Assign(edge, target_);
+    ++(*loads_)[target_];
+  }
+
+ private:
+  AssignmentSink* inner_;
+  std::vector<uint64_t>* loads_;
+  PartitionId target_ = 0;
+};
+
+}  // namespace
+
+Status SnePartitioner::Partition(EdgeStream& stream,
+                                 const PartitionConfig& config,
+                                 AssignmentSink& sink,
+                                 PartitionStats* stats) {
+  if (config.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (options_.cache_factor <= 0) {
+    return Status::InvalidArgument("cache_factor must be positive");
+  }
+  PartitionStats local;
+  PartitionStats& out = stats != nullptr ? *stats : local;
+
+  DegreeTable degrees;
+  {
+    ScopedTimer timer(&out.phase_seconds["degree"]);
+    TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
+  }
+  out.stream_passes += 1;
+
+  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  const uint32_t k = config.num_partitions;
+  const uint64_t capacity = config.PartitionCapacity(degrees.num_edges);
+  const VertexId num_vertices = degrees.num_vertices();
+  const uint64_t chunk_capacity = std::max<uint64_t>(
+      1024, static_cast<uint64_t>(options_.cache_factor * num_vertices));
+
+  std::vector<uint64_t> loads(k, 0);
+  RedirectSink redirect(&sink, &loads);
+
+  const auto least_loaded_open = [&]() {
+    PartitionId best = kInvalidPartition;
+    for (PartitionId p = 0; p < k; ++p) {
+      if (loads[p] >= capacity) {
+        continue;
+      }
+      if (best == kInvalidPartition || loads[p] < loads[best]) {
+        best = p;
+      }
+    }
+    return best;
+  };
+
+  std::vector<Edge> chunk;
+  chunk.reserve(chunk_capacity);
+  uint64_t peak_chunk_bytes = 0;
+
+  const auto flush_chunk = [&]() {
+    if (chunk.empty()) {
+      return;
+    }
+    VertexId max_id = 0;
+    for (const Edge& e : chunk) {
+      max_id = std::max({max_id, e.first, e.second});
+    }
+    const expansion::IndexedAdjacency adjacency =
+        expansion::IndexedAdjacency::Build(chunk, max_id + 1);
+    expansion::Expander expander(&chunk, &adjacency);
+    peak_chunk_bytes = std::max(
+        peak_chunk_bytes, chunk.size() * sizeof(Edge) +
+                              adjacency.HeapBytes() + expander.HeapBytes());
+
+    // Expansion rounds: grow the least-loaded open partition by one
+    // chunk share until the chunk is drained.
+    const uint64_t round_share =
+        std::max<uint64_t>(1, chunk.size() / k + 1);
+    while (expander.UnclaimedEdges() > 0) {
+      const PartitionId target = least_loaded_open();
+      redirect.SetTarget(target);
+      const uint64_t budget =
+          std::min<uint64_t>(round_share, capacity - loads[target]);
+      const uint64_t claimed = expander.Expand(target, budget, redirect);
+      if (claimed == 0) {
+        break;  // Defensive: should not happen while edges remain.
+      }
+    }
+    chunk.clear();
+  };
+
+  TPSL_RETURN_IF_ERROR(stream.Reset());
+  constexpr size_t kBatch = 4096;
+  Edge buffer[kBatch];
+  size_t n;
+  while ((n = stream.Next(buffer, kBatch)) > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      chunk.push_back(buffer[i]);
+      if (chunk.size() >= chunk_capacity) {
+        flush_chunk();
+      }
+    }
+  }
+  flush_chunk();
+  out.stream_passes += 1;
+  out.state_bytes = degrees.degrees.size() * sizeof(uint32_t) +
+                    loads.size() * sizeof(uint64_t) + peak_chunk_bytes;
+  return Status::OK();
+}
+
+}  // namespace tpsl

@@ -1,0 +1,58 @@
+#include "core/cluster_schedule.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+namespace tpsl {
+
+ClusterSchedule ScheduleClustersGraham(const std::vector<uint64_t>& volumes,
+                                       uint32_t num_partitions) {
+  ClusterSchedule schedule;
+  schedule.cluster_partition.assign(volumes.size(), kInvalidPartition);
+  schedule.partition_volumes.assign(num_partitions, 0);
+
+  // Sort cluster indices by decreasing volume (stable on ties for
+  // determinism).
+  std::vector<ClusterId> order(volumes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&volumes](ClusterId a, ClusterId b) {
+                     return volumes[a] > volumes[b];
+                   });
+
+  // Min-heap of (volume, partition): assignment of all clusters is
+  // O(|C| log k), matching the paper's complexity analysis.
+  using HeapEntry = std::pair<uint64_t, PartitionId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    heap.push({0, p});
+  }
+  for (ClusterId c : order) {
+    auto [volume, partition] = heap.top();
+    heap.pop();
+    schedule.cluster_partition[c] = partition;
+    volume += volumes[c];
+    schedule.partition_volumes[partition] = volume;
+    heap.push({volume, partition});
+  }
+  return schedule;
+}
+
+ClusterSchedule ScheduleClustersRoundRobin(
+    const std::vector<uint64_t>& volumes, uint32_t num_partitions) {
+  ClusterSchedule schedule;
+  schedule.cluster_partition.resize(volumes.size());
+  schedule.partition_volumes.assign(num_partitions, 0);
+  for (ClusterId c = 0; c < volumes.size(); ++c) {
+    const PartitionId p = c % num_partitions;
+    schedule.cluster_partition[c] = p;
+    schedule.partition_volumes[p] += volumes[c];
+  }
+  return schedule;
+}
+
+}  // namespace tpsl

@@ -1,0 +1,41 @@
+#ifndef TPSL_CORE_CLUSTER_SCHEDULE_H_
+#define TPSL_CORE_CLUSTER_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tpsl {
+
+/// Cluster -> partition mapping (Step 1 of paper Algorithm 2), solved
+/// as Makespan Scheduling on Identical Machines: clusters are jobs
+/// whose run-time is their volume, partitions are machines.
+struct ClusterSchedule {
+  /// c2p in the paper: cluster id -> partition id.
+  std::vector<PartitionId> cluster_partition;
+
+  /// vol_p in the paper: total volume of clusters mapped to each
+  /// partition.
+  std::vector<uint64_t> partition_volumes;
+
+  uint64_t HeapBytes() const {
+    return cluster_partition.size() * sizeof(PartitionId) +
+           partition_volumes.size() * sizeof(uint64_t);
+  }
+};
+
+/// Graham's sorted list scheduling (LPT): sort clusters by decreasing
+/// volume, repeatedly assign to the least-loaded partition. 4/3 -
+/// 1/(3k) approximation of the optimal makespan.
+ClusterSchedule ScheduleClustersGraham(const std::vector<uint64_t>& volumes,
+                                       uint32_t num_partitions);
+
+/// Naive round-robin mapping, ignoring volumes. Ablation baseline for
+/// the scheduling design choice.
+ClusterSchedule ScheduleClustersRoundRobin(const std::vector<uint64_t>& volumes,
+                                           uint32_t num_partitions);
+
+}  // namespace tpsl
+
+#endif  // TPSL_CORE_CLUSTER_SCHEDULE_H_

@@ -1,0 +1,330 @@
+#include "core/parallel_two_phase.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/cluster_schedule.h"
+#include "core/scoring.h"
+#include "graph/degrees.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace tpsl {
+namespace {
+
+/// Lock-free vertex-to-partition replication bit matrix. Readers may
+/// observe slightly stale bits (benign: only affects scoring quality,
+/// never correctness).
+class AtomicReplicationBits {
+ public:
+  AtomicReplicationBits(VertexId num_vertices, uint32_t num_partitions)
+      : num_partitions_(num_partitions),
+        words_((static_cast<uint64_t>(num_vertices) * num_partitions + 63) /
+               64) {
+    for (auto& word : words_) {
+      word.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  bool Test(VertexId v, PartitionId p) const {
+    const uint64_t bit = Index(v, p);
+    return (words_[bit >> 6].load(std::memory_order_relaxed) >> (bit & 63)) &
+           1;
+  }
+
+  void Set(VertexId v, PartitionId p) {
+    const uint64_t bit = Index(v, p);
+    words_[bit >> 6].fetch_or(uint64_t{1} << (bit & 63),
+                              std::memory_order_relaxed);
+  }
+
+  uint64_t HeapBytes() const {
+    return words_.size() * sizeof(std::atomic<uint64_t>);
+  }
+
+ private:
+  uint64_t Index(VertexId v, PartitionId p) const {
+    return static_cast<uint64_t>(v) * num_partitions_ + p;
+  }
+
+  uint32_t num_partitions_;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+/// Claims one load slot of `partition` if it is below `capacity`.
+bool TryClaim(std::atomic<uint64_t>& load, uint64_t capacity) {
+  uint64_t current = load.load(std::memory_order_relaxed);
+  while (current < capacity) {
+    if (load.compare_exchange_weak(current, current + 1,
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct SharedState {
+  const DegreeTable* degrees;
+  const Clustering* clustering;
+  const ClusterSchedule* schedule;
+  AtomicReplicationBits* replicas;
+  std::vector<std::atomic<uint64_t>>* loads;
+  uint64_t capacity;
+  uint64_t seed;
+  bool use_volume_term;
+
+  /// Claims a partition for `e`, preferring `preferred`, then
+  /// degree-hash, then any open partition. Always succeeds while total
+  /// capacity remains.
+  PartitionId ClaimWithOverflow(const Edge& e, PartitionId preferred) const {
+    if (TryClaim((*loads)[preferred], capacity)) {
+      return preferred;
+    }
+    const VertexId pivot =
+        degrees->degree(e.first) >= degrees->degree(e.second) ? e.first
+                                                              : e.second;
+    const uint32_t k = static_cast<uint32_t>(loads->size());
+    const PartitionId hashed =
+        static_cast<PartitionId>(Mix64(HashCombine(seed, pivot)) % k);
+    if (hashed != preferred && TryClaim((*loads)[hashed], capacity)) {
+      return hashed;
+    }
+    // Linear probe from the hash position; guaranteed to find an open
+    // partition because k * capacity >= |E|.
+    for (uint32_t step = 1; step <= k; ++step) {
+      const PartitionId p = (hashed + step) % k;
+      if (TryClaim((*loads)[p], capacity)) {
+        return p;
+      }
+    }
+    return kInvalidPartition;  // Unreachable.
+  }
+
+  void Commit(const Edge& e, PartitionId p) const {
+    replicas->Set(e.first, p);
+    replicas->Set(e.second, p);
+  }
+};
+
+/// Runs one parallelized pass over the stream: the dispatcher thread
+/// reads batches; workers process them via `process(edge)` returning
+/// the chosen partition or kInvalidPartition to skip; assignments are
+/// flushed to the sink under a mutex.
+template <typename ProcessFn>
+Status ParallelPass(EdgeStream& stream, uint32_t num_threads,
+                    uint32_t batch_size, AssignmentSink& sink,
+                    const ProcessFn& process) {
+  TPSL_RETURN_IF_ERROR(stream.Reset());
+
+  std::mutex stream_mutex;
+  std::mutex sink_mutex;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&]() {
+      std::vector<Edge> batch(batch_size);
+      std::vector<std::pair<Edge, PartitionId>> results;
+      results.reserve(batch_size);
+      while (true) {
+        size_t n;
+        {
+          std::lock_guard<std::mutex> lock(stream_mutex);
+          if (done.load(std::memory_order_relaxed)) {
+            return;
+          }
+          n = stream.Next(batch.data(), batch.size());
+          if (n == 0) {
+            done.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        results.clear();
+        for (size_t i = 0; i < n; ++i) {
+          const PartitionId p = process(batch[i]);
+          if (p != kInvalidPartition) {
+            results.emplace_back(batch[i], p);
+          }
+        }
+        if (!results.empty()) {
+          std::lock_guard<std::mutex> lock(sink_mutex);
+          for (const auto& [edge, partition] : results) {
+            sink.Assign(edge, partition);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
+                                              const PartitionConfig& config,
+                                              AssignmentSink& sink,
+                                              PartitionStats* stats) {
+  if (config.num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (options_.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  PartitionStats local_stats;
+  PartitionStats& out = stats != nullptr ? *stats : local_stats;
+
+  // --- Sequential Phase 1 (cheap; see class comment). ---
+  DegreeTable degrees;
+  {
+    ScopedTimer timer(&out.phase_seconds["degree"]);
+    TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
+  }
+  out.stream_passes += 1;
+
+  Clustering clustering;
+  {
+    ScopedTimer timer(&out.phase_seconds["clustering"]);
+    TPSL_ASSIGN_OR_RETURN(
+        clustering, StreamingClustering(stream, degrees,
+                                        config.num_partitions,
+                                        options_.clustering));
+  }
+  out.stream_passes += options_.clustering.num_passes;
+
+  // --- Parallel Phase 2. ---
+  ScopedTimer partition_timer(&out.phase_seconds["partitioning"]);
+  const ClusterSchedule schedule = ScheduleClustersGraham(
+      clustering.cluster_volumes, config.num_partitions);
+
+  AtomicReplicationBits replicas(degrees.num_vertices(),
+                                 config.num_partitions);
+  std::vector<std::atomic<uint64_t>> loads(config.num_partitions);
+  for (auto& load : loads) {
+    load.store(0, std::memory_order_relaxed);
+  }
+
+  SharedState shared;
+  shared.degrees = &degrees;
+  shared.clustering = &clustering;
+  shared.schedule = &schedule;
+  shared.replicas = &replicas;
+  shared.loads = &loads;
+  shared.capacity = config.PartitionCapacity(degrees.num_edges);
+  shared.seed = config.seed;
+  shared.use_volume_term = options_.use_cluster_volume_term;
+
+  out.state_bytes = degrees.degrees.size() * sizeof(uint32_t) +
+                    clustering.HeapBytes() + schedule.HeapBytes() +
+                    replicas.HeapBytes() +
+                    loads.size() * sizeof(std::atomic<uint64_t>);
+
+  uint32_t num_threads = options_.num_threads != 0
+                             ? options_.num_threads
+                             : std::thread::hardware_concurrency();
+  num_threads = std::max<uint32_t>(1, num_threads);
+
+  std::atomic<uint64_t> prepartitioned{0};
+  std::atomic<uint64_t> remaining{0};
+
+  // Pass A: pre-partition co-located edges.
+  TPSL_RETURN_IF_ERROR(ParallelPass(
+      stream, num_threads, options_.batch_size, sink,
+      [&](const Edge& e) -> PartitionId {
+        const ClusterId c1 = clustering.vertex_cluster[e.first];
+        const ClusterId c2 = clustering.vertex_cluster[e.second];
+        const PartitionId p1 = schedule.cluster_partition[c1];
+        const PartitionId p2 = schedule.cluster_partition[c2];
+        if (c1 != c2 && p1 != p2) {
+          return kInvalidPartition;  // Scoring pass handles it.
+        }
+        const PartitionId target = shared.ClaimWithOverflow(e, p1);
+        shared.Commit(e, target);
+        prepartitioned.fetch_add(1, std::memory_order_relaxed);
+        return target;
+      }));
+  out.stream_passes += 1;
+
+  // Pass B: score the remaining edges — on their two candidates
+  // (kLinear) or on all k partitions with HDRF scoring (kHdrf; the
+  // expensive regime where the worker pool actually pays off).
+  const bool linear = options_.scoring == ScoringMode::kLinear;
+  const double lambda = options_.hdrf_lambda;
+  TPSL_RETURN_IF_ERROR(ParallelPass(
+      stream, num_threads, options_.batch_size, sink,
+      [&](const Edge& e) -> PartitionId {
+        const ClusterId c1 = clustering.vertex_cluster[e.first];
+        const ClusterId c2 = clustering.vertex_cluster[e.second];
+        const PartitionId p1 = schedule.cluster_partition[c1];
+        const PartitionId p2 = schedule.cluster_partition[c2];
+        if (c1 == c2 || p1 == p2) {
+          return kInvalidPartition;  // Already pre-partitioned.
+        }
+        const uint32_t du = degrees.degree(e.first);
+        const uint32_t dv = degrees.degree(e.second);
+        PartitionId preferred;
+        if (linear) {
+          const uint64_t degree_sum = static_cast<uint64_t>(du) + dv;
+          const uint64_t vol1 =
+              shared.use_volume_term ? clustering.cluster_volumes[c1] : 0;
+          const uint64_t vol2 =
+              shared.use_volume_term ? clustering.cluster_volumes[c2] : 0;
+          const uint64_t volume_sum = vol1 + vol2;
+          const double score1 =
+              TwopsReplicationTerm(replicas.Test(e.first, p1), du,
+                                   degree_sum) +
+              TwopsReplicationTerm(replicas.Test(e.second, p1), dv,
+                                   degree_sum) +
+              TwopsClusterTerm(true, vol1, volume_sum);
+          const double score2 =
+              TwopsReplicationTerm(replicas.Test(e.first, p2), du,
+                                   degree_sum) +
+              TwopsReplicationTerm(replicas.Test(e.second, p2), dv,
+                                   degree_sum) +
+              TwopsClusterTerm(true, vol2, volume_sum);
+          preferred = score1 >= score2 ? p1 : p2;
+        } else {
+          // HDRF over all k with relaxed (stale-tolerant) load reads.
+          const uint32_t k = static_cast<uint32_t>(loads.size());
+          uint64_t max_load = 0;
+          uint64_t min_load = UINT64_MAX;
+          for (const auto& load : loads) {
+            const uint64_t value = load.load(std::memory_order_relaxed);
+            max_load = std::max(max_load, value);
+            min_load = std::min(min_load, value);
+          }
+          double best_score = -1.0;
+          preferred = 0;
+          for (PartitionId p = 0; p < k; ++p) {
+            // Re-reads may exceed the max snapshot under concurrency;
+            // clamp so the balance term never underflows.
+            const uint64_t load = std::min(
+                loads[p].load(std::memory_order_relaxed), max_load);
+            const double score =
+                HdrfReplicationScore(replicas.Test(e.first, p),
+                                     replicas.Test(e.second, p), du, dv) +
+                HdrfBalanceScore(load, max_load, min_load, lambda);
+            if (score > best_score) {
+              best_score = score;
+              preferred = p;
+            }
+          }
+        }
+        const PartitionId target = shared.ClaimWithOverflow(e, preferred);
+        shared.Commit(e, target);
+        remaining.fetch_add(1, std::memory_order_relaxed);
+        return target;
+      }));
+  out.stream_passes += 1;
+
+  out.prepartitioned_edges = prepartitioned.load();
+  out.remaining_edges = remaining.load();
+  return Status::OK();
+}
+
+}  // namespace tpsl

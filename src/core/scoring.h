@@ -1,0 +1,81 @@
+#ifndef TPSL_CORE_SCORING_H_
+#define TPSL_CORE_SCORING_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+#include "partition/replication_table.h"
+
+namespace tpsl {
+
+/// Scoring functions for stateful streaming edge partitioning.
+///
+/// TwopsScore implements the paper's new constant-time scoring function
+/// (§III-B Step 3): degree-weighted replication affinity plus a
+/// cluster-volume affinity, evaluated on exactly two candidate
+/// partitions. HdrfScore implements the classic HDRF function (Petroni
+/// et al., CIKM'15), evaluated on all k partitions; it is shared by the
+/// HDRF baseline and the 2PS-HDRF variant.
+
+/// Per-endpoint replication term of the 2PS-L score:
+/// g = 1 + (1 - d_self / (d_u + d_v)) if the vertex is replicated on p.
+inline double TwopsReplicationTerm(bool replicated_on_p, uint32_t own_degree,
+                                   uint64_t degree_sum) {
+  if (!replicated_on_p) {
+    return 0.0;
+  }
+  return 1.0 + (1.0 - static_cast<double>(own_degree) /
+                          static_cast<double>(degree_sum));
+}
+
+/// Per-endpoint cluster-volume term of the 2PS-L score:
+/// sc = vol(c_self) / (vol(c_u) + vol(c_v)) if c_self maps to p.
+inline double TwopsClusterTerm(bool cluster_on_p, uint64_t own_volume,
+                               uint64_t volume_sum) {
+  if (!cluster_on_p || volume_sum == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(own_volume) / static_cast<double>(volume_sum);
+}
+
+/// Full 2PS-L score s(u, v, p) for one candidate partition.
+inline double TwopsScore(const ReplicationTable& replicas, VertexId u,
+                         VertexId v, uint32_t du, uint32_t dv,
+                         uint64_t vol_cu, uint64_t vol_cv, bool cu_on_p,
+                         bool cv_on_p, PartitionId p) {
+  const uint64_t degree_sum = static_cast<uint64_t>(du) + dv;
+  const uint64_t volume_sum = vol_cu + vol_cv;
+  return TwopsReplicationTerm(replicas.Test(u, p), du, degree_sum) +
+         TwopsReplicationTerm(replicas.Test(v, p), dv, degree_sum) +
+         TwopsClusterTerm(cu_on_p, vol_cu, volume_sum) +
+         TwopsClusterTerm(cv_on_p, vol_cv, volume_sum);
+}
+
+/// HDRF degree-weighted replication score C_REP(u, v, p).
+/// θ_u = d_u / (d_u + d_v); an endpoint replicated on p contributes
+/// 1 + (1 - θ_self).
+inline double HdrfReplicationScore(bool u_on_p, bool v_on_p, uint32_t du,
+                                   uint32_t dv) {
+  const double degree_sum = static_cast<double>(du) + dv;
+  double score = 0.0;
+  if (u_on_p) {
+    score += degree_sum > 0 ? 1.0 + (1.0 - du / degree_sum) : 1.0;
+  }
+  if (v_on_p) {
+    score += degree_sum > 0 ? 1.0 + (1.0 - dv / degree_sum) : 1.0;
+  }
+  return score;
+}
+
+/// HDRF balance score C_BAL(p) = λ · (maxsize − |p|) / (ε + maxsize −
+/// minsize).
+inline double HdrfBalanceScore(uint64_t partition_size, uint64_t max_size,
+                               uint64_t min_size, double lambda,
+                               double epsilon = 1.0) {
+  return lambda * static_cast<double>(max_size - partition_size) /
+         (epsilon + static_cast<double>(max_size - min_size));
+}
+
+}  // namespace tpsl
+
+#endif  // TPSL_CORE_SCORING_H_

@@ -1,0 +1,118 @@
+#include "core/streaming_clustering.h"
+
+#include <limits>
+
+namespace tpsl {
+namespace {
+
+/// Mutable clustering state shared across streaming passes (the d[],
+/// vol[] and v2c[] arrays of paper Algorithm 1).
+struct ClusteringState {
+  const DegreeTable* degrees;
+  std::vector<ClusterId> v2c;
+  std::vector<uint64_t> vol;
+  uint64_t max_volume;
+
+  void EnsureCluster(VertexId v) {
+    if (v2c[v] == kInvalidCluster) {
+      v2c[v] = static_cast<ClusterId>(vol.size());
+      vol.push_back(degrees->degree(v));
+    }
+  }
+
+  /// One edge of one streaming pass: lines 11-22 of Algorithm 1.
+  void ProcessEdge(const Edge& e) {
+    EnsureCluster(e.first);
+    EnsureCluster(e.second);
+
+    const ClusterId cu = v2c[e.first];
+    const ClusterId cv = v2c[e.second];
+    if (cu == cv) {
+      return;  // Migration between identical clusters is a no-op.
+    }
+    // Line 16: both clusters must currently respect the volume bound.
+    if (vol[cu] > max_volume || vol[cv] > max_volume) {
+      return;
+    }
+    // Line 17: the vertex whose cluster has the smaller volume
+    // (excluding the vertex's own degree) migrates.
+    const uint32_t du = degrees->degree(e.first);
+    const uint32_t dv = degrees->degree(e.second);
+    const int64_t residual_u = static_cast<int64_t>(vol[cu]) - du;
+    const int64_t residual_v = static_cast<int64_t>(vol[cv]) - dv;
+
+    VertexId small_vertex;
+    uint32_t small_degree;
+    ClusterId small_cluster, large_cluster;
+    if (residual_u <= residual_v) {
+      small_vertex = e.first;
+      small_degree = du;
+      small_cluster = cu;
+      large_cluster = cv;
+    } else {
+      small_vertex = e.second;
+      small_degree = dv;
+      small_cluster = cv;
+      large_cluster = cu;
+    }
+    // Line 19: migrate only if the target stays within the bound.
+    if (vol[large_cluster] + small_degree <= max_volume) {
+      vol[large_cluster] += small_degree;
+      vol[small_cluster] -= small_degree;
+      v2c[small_vertex] = large_cluster;
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<Clustering> StreamingClustering(EdgeStream& stream,
+                                         const DegreeTable& degrees,
+                                         uint32_t num_partitions,
+                                         const ClusteringConfig& config) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (config.num_passes == 0) {
+    return Status::InvalidArgument("num_passes must be positive");
+  }
+
+  ClusteringState state;
+  state.degrees = &degrees;
+  state.v2c.assign(degrees.degrees.size(), kInvalidCluster);
+  if (config.enforce_volume_cap) {
+    const double cap = config.volume_cap_factor *
+                       static_cast<double>(degrees.TotalVolume()) /
+                       num_partitions;
+    state.max_volume = static_cast<uint64_t>(cap);
+  } else {
+    state.max_volume = std::numeric_limits<uint64_t>::max();
+  }
+
+  for (uint32_t pass = 0; pass < config.num_passes; ++pass) {
+    TPSL_RETURN_IF_ERROR(ForEachEdge(
+        stream, [&state](const Edge& e) { state.ProcessEdge(e); }));
+  }
+
+  // Compact cluster ids to a dense range and recompute volumes from
+  // member degrees (drops clusters emptied by migration).
+  Clustering result;
+  result.vertex_cluster.assign(state.v2c.size(), kInvalidCluster);
+  std::vector<ClusterId> remap(state.vol.size(), kInvalidCluster);
+  for (VertexId v = 0; v < state.v2c.size(); ++v) {
+    const ClusterId old_id = state.v2c[v];
+    if (old_id == kInvalidCluster) {
+      continue;  // Vertex never appeared in the stream.
+    }
+    if (remap[old_id] == kInvalidCluster) {
+      remap[old_id] = static_cast<ClusterId>(result.cluster_volumes.size());
+      result.cluster_volumes.push_back(0);
+    }
+    const ClusterId new_id = remap[old_id];
+    result.vertex_cluster[v] = new_id;
+    result.cluster_volumes[new_id] += degrees.degree(v);
+  }
+  return result;
+}
+
+}  // namespace tpsl

@@ -1,0 +1,66 @@
+#ifndef TPSL_CORE_STREAMING_CLUSTERING_H_
+#define TPSL_CORE_STREAMING_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/degrees.h"
+#include "graph/edge_stream.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Configuration of 2PS-L Phase 1 (paper Algorithm 1): a streaming
+/// vertex-clustering pass extending Hollocou et al. with (a) exact
+/// upfront degrees, (b) a hard cluster-volume cap and (c) optional
+/// re-streaming.
+struct ClusteringConfig {
+  /// Number of streaming passes (paper default: 1, i.e. no
+  /// re-streaming; Figs. 7-8 sweep 1..8).
+  uint32_t num_passes = 1;
+
+  /// Cluster volume cap as a multiple of the average partition volume
+  /// 2|E|/k. The paper mandates a cap but leaves the value open
+  /// (§III-A2); our ablation (bench/ablation_design_choices) shows
+  /// sub-partition-sized clusters (0.25x) partition best, because they
+  /// bound the damage of volume-greedy mis-migrations and give the
+  /// scheduler packing freedom.
+  double volume_cap_factor = 0.25;
+
+  /// Disables the volume cap entirely (ablation: original Hollocou
+  /// behaviour, unbounded clusters).
+  bool enforce_volume_cap = true;
+};
+
+/// Result of the clustering phase; all arrays are the shared state
+/// reused by Phase 2 (the paper stresses clustering adds no memory
+/// beyond partitioning state).
+struct Clustering {
+  /// Vertex -> cluster id, compacted to [0, num_clusters).
+  std::vector<ClusterId> vertex_cluster;
+
+  /// Cluster volumes: sum of (full) degrees of member vertices.
+  std::vector<uint64_t> cluster_volumes;
+
+  uint32_t num_clusters() const {
+    return static_cast<uint32_t>(cluster_volumes.size());
+  }
+
+  uint64_t HeapBytes() const {
+    return vertex_cluster.size() * sizeof(ClusterId) +
+           cluster_volumes.size() * sizeof(uint64_t);
+  }
+};
+
+/// Runs Algorithm 1. `degrees` must cover every vertex id that appears
+/// in `stream`. `num_partitions` is only used to derive the volume cap.
+/// Deterministic; performs `config.num_passes` passes over the stream.
+StatusOr<Clustering> StreamingClustering(EdgeStream& stream,
+                                         const DegreeTable& degrees,
+                                         uint32_t num_partitions,
+                                         const ClusteringConfig& config);
+
+}  // namespace tpsl
+
+#endif  // TPSL_CORE_STREAMING_CLUSTERING_H_

@@ -1,0 +1,116 @@
+#ifndef TPSL_DYNAMIC_INCREMENTAL_PARTITIONER_H_
+#define TPSL_DYNAMIC_INCREMENTAL_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cluster_schedule.h"
+#include "core/streaming_clustering.h"
+#include "graph/degrees.h"
+#include "graph/edge_stream.h"
+#include "partition/partitioner.h"
+#include "partition/replication_table.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Incremental 2PS-L for dynamic graphs — the extension the paper
+/// sketches in its related work ("following the approach proposed by
+/// Fan et al., 2PS-L could be transformed into an incremental algorithm
+/// to efficiently handle dynamic graphs ... without recomputing the
+/// complete partitioning from scratch").
+///
+/// Bootstrap() runs the full two-phase algorithm on a base graph and
+/// retains all Phase-1/Phase-2 state (degrees, vertex clustering,
+/// cluster-to-partition schedule, replication table, loads). AddEdge()
+/// then places arriving edges in O(1):
+///  * unseen vertices join the cluster of their first neighbor,
+///  * the edge is scored on the two candidate partitions with the
+///    2PS-L scoring function against the live replication state,
+///  * the hard cap grows with |E| (capacity = alpha * |E_now| / k).
+/// RemoveEdge() releases the load slot; replication state is shrunk
+/// lazily (a removal never invalidates previous placements, it only
+/// loosens future capacity — the standard conservative treatment).
+///
+/// Quality degrades gracefully as the graph drifts from the bootstrap
+/// snapshot; StalenessRatio() tells callers when a re-bootstrap pays
+/// off.
+class IncrementalPartitioner {
+ public:
+  struct Options {
+    ClusteringConfig clustering;
+    bool use_cluster_volume_term = true;
+  };
+
+  explicit IncrementalPartitioner(const PartitionConfig& config)
+      : config_(config) {}
+  IncrementalPartitioner(const PartitionConfig& config, Options options)
+      : config_(config), options_(options) {}
+
+  /// Partitions the base graph with 2PS-L, reporting assignments to
+  /// `sink`, and retains the state for incremental updates.
+  Status Bootstrap(EdgeStream& base_graph, AssignmentSink& sink);
+
+  /// Places one new edge; returns its partition. Must be called after
+  /// Bootstrap().
+  StatusOr<PartitionId> AddEdge(const Edge& edge);
+
+  /// Records the removal of an edge previously placed on `partition`.
+  Status RemoveEdge(const Edge& edge, PartitionId partition);
+
+  /// Current number of live edges (base + added - removed).
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Fraction of live edges that arrived after Bootstrap(); callers
+  /// typically re-bootstrap above ~0.5.
+  double StalenessRatio() const {
+    return num_edges_ == 0
+               ? 0.0
+               : static_cast<double>(added_since_bootstrap_) / num_edges_;
+  }
+
+  /// Live replication factor from the maintained table.
+  double CurrentReplicationFactor() const {
+    return replicas_ == nullptr ? 0.0 : replicas_->ReplicationFactor();
+  }
+
+  const std::vector<uint64_t>& loads() const { return loads_; }
+
+ private:
+  /// Ensures vertex state arrays cover `v`, growing them for vertices
+  /// first seen after Bootstrap().
+  void EnsureVertex(VertexId v);
+
+  /// Shared placement path for bootstrap and incremental edges:
+  /// cluster maintenance + two-candidate scoring + overflow chain.
+  StatusOr<PartitionId> PlaceEdge(const Edge& e);
+
+  uint64_t Capacity() const {
+    const double cap = config_.balance_factor *
+                       static_cast<double>(num_edges_) /
+                       config_.num_partitions;
+    const uint64_t capacity = static_cast<uint64_t>(cap) + 1;
+    const uint64_t floor_cap =
+        (num_edges_ + config_.num_partitions - 1) / config_.num_partitions;
+    return capacity < floor_cap ? floor_cap : capacity;
+  }
+
+  PartitionConfig config_;
+  Options options_;
+
+  bool bootstrapped_ = false;
+  uint64_t num_edges_ = 0;
+  uint64_t added_since_bootstrap_ = 0;
+
+  std::vector<uint32_t> degrees_;
+  std::vector<ClusterId> vertex_cluster_;
+  std::vector<uint64_t> cluster_volumes_;
+  std::vector<PartitionId> cluster_partition_;
+  std::unique_ptr<ReplicationTable> replicas_;
+  std::vector<uint64_t> loads_;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_DYNAMIC_INCREMENTAL_PARTITIONER_H_

@@ -1,0 +1,106 @@
+#include "graph/binary_edge_list.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tpsl {
+
+Status WriteBinaryEdgeList(const std::string& path,
+                           const std::vector<Edge>& edges) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for writing: " + path + ": " +
+                           std::strerror(errno));
+  }
+  const size_t written =
+      std::fwrite(edges.data(), sizeof(Edge), edges.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != edges.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Edge>> ReadBinaryEdgeList(const std::string& path) {
+  auto stream_or = BinaryFileEdgeStream::Open(path);
+  if (!stream_or.ok()) {
+    return stream_or.status();
+  }
+  std::vector<Edge> edges;
+  edges.reserve((*stream_or)->NumEdgesHint());
+  Status status = ForEachEdge(**stream_or,
+                              [&](const Edge& e) { edges.push_back(e); });
+  if (!status.ok()) {
+    return status;
+  }
+  return edges;
+}
+
+StatusOr<std::unique_ptr<BinaryFileEdgeStream>> BinaryFileEdgeStream::Open(
+    const std::string& path, size_t buffer_edges) {
+  if (buffer_edges == 0) {
+    return Status::InvalidArgument("buffer_edges must be positive");
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  if (st.st_size % sizeof(Edge) != 0) {
+    return Status::IoError("file size " + std::to_string(st.st_size) +
+                           " is not a multiple of 8 bytes (corrupt edge "
+                           "list): " +
+                           path);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open: " + path + ": " +
+                           std::strerror(errno));
+  }
+  const uint64_t num_edges = static_cast<uint64_t>(st.st_size) / sizeof(Edge);
+  return std::unique_ptr<BinaryFileEdgeStream>(
+      new BinaryFileEdgeStream(file, num_edges, buffer_edges));
+}
+
+BinaryFileEdgeStream::BinaryFileEdgeStream(std::FILE* file, uint64_t num_edges,
+                                           size_t buffer_edges)
+    : file_(file), num_edges_(num_edges), buffer_(buffer_edges) {}
+
+BinaryFileEdgeStream::~BinaryFileEdgeStream() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status BinaryFileEdgeStream::Reset() {
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IoError("fseek failed");
+  }
+  buffer_filled_ = 0;
+  buffer_pos_ = 0;
+  return Status::OK();
+}
+
+size_t BinaryFileEdgeStream::Next(Edge* out, size_t capacity) {
+  size_t delivered = 0;
+  while (delivered < capacity) {
+    if (buffer_pos_ == buffer_filled_) {
+      buffer_filled_ =
+          std::fread(buffer_.data(), sizeof(Edge), buffer_.size(), file_);
+      buffer_pos_ = 0;
+      if (buffer_filled_ == 0) {
+        break;  // End of file.
+      }
+    }
+    const size_t n =
+        std::min(capacity - delivered, buffer_filled_ - buffer_pos_);
+    std::memcpy(out + delivered, buffer_.data() + buffer_pos_,
+                n * sizeof(Edge));
+    buffer_pos_ += n;
+    delivered += n;
+  }
+  return delivered;
+}
+
+}  // namespace tpsl

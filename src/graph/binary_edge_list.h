@@ -1,0 +1,58 @@
+#ifndef TPSL_GRAPH_BINARY_EDGE_LIST_H_
+#define TPSL_GRAPH_BINARY_EDGE_LIST_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/edge_stream.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// On-disk format used throughout the paper's evaluation: a raw
+/// little-endian sequence of (uint32 first, uint32 second) pairs with
+/// no header. File size must be a multiple of 8 bytes.
+///
+/// WriteBinaryEdgeList / ReadBinaryEdgeList materialize whole files;
+/// BinaryFileEdgeStream streams them with a bounded read buffer, which
+/// is what the out-of-core partitioners use.
+Status WriteBinaryEdgeList(const std::string& path,
+                           const std::vector<Edge>& edges);
+
+StatusOr<std::vector<Edge>> ReadBinaryEdgeList(const std::string& path);
+
+/// Buffered, restartable file-backed edge stream. Memory footprint is
+/// a single fixed buffer regardless of graph size.
+class BinaryFileEdgeStream : public EdgeStream {
+ public:
+  /// Opens `path` and validates its size. `buffer_edges` controls the
+  /// read-buffer size (default 1 MiB of edges).
+  static StatusOr<std::unique_ptr<BinaryFileEdgeStream>> Open(
+      const std::string& path, size_t buffer_edges = 128 * 1024);
+
+  ~BinaryFileEdgeStream() override;
+
+  BinaryFileEdgeStream(const BinaryFileEdgeStream&) = delete;
+  BinaryFileEdgeStream& operator=(const BinaryFileEdgeStream&) = delete;
+
+  Status Reset() override;
+  size_t Next(Edge* out, size_t capacity) override;
+  uint64_t NumEdgesHint() const override { return num_edges_; }
+
+ private:
+  BinaryFileEdgeStream(std::FILE* file, uint64_t num_edges,
+                       size_t buffer_edges);
+
+  std::FILE* file_;
+  uint64_t num_edges_;
+  std::vector<Edge> buffer_;
+  size_t buffer_filled_ = 0;
+  size_t buffer_pos_ = 0;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_GRAPH_BINARY_EDGE_LIST_H_

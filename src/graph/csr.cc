@@ -1,0 +1,64 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+#include "graph/degrees.h"
+
+namespace tpsl {
+
+StatusOr<CsrGraph> CsrGraph::FromStream(EdgeStream& stream) {
+  auto degrees_or = ComputeDegrees(stream);
+  if (!degrees_or.ok()) {
+    return degrees_or.status();
+  }
+  const DegreeTable& table = *degrees_or;
+
+  CsrGraph graph;
+  graph.num_edges_ = table.num_edges;
+  const size_t nv = table.degrees.size();
+  graph.offsets_.assign(nv + 1, 0);
+  for (size_t v = 0; v < nv; ++v) {
+    graph.offsets_[v + 1] = graph.offsets_[v] + table.degrees[v];
+  }
+  graph.adjacency_.resize(graph.offsets_[nv]);
+
+  std::vector<uint64_t> cursor(graph.offsets_.begin(),
+                               graph.offsets_.end() - 1);
+  Status status = ForEachEdge(stream, [&](const Edge& e) {
+    graph.adjacency_[cursor[e.first]++] = e.second;
+    graph.adjacency_[cursor[e.second]++] = e.first;
+  });
+  if (!status.ok()) {
+    return status;
+  }
+  return graph;
+}
+
+CsrGraph CsrGraph::FromEdges(const std::vector<Edge>& edges) {
+  VertexId max_id = 0;
+  for (const Edge& e : edges) {
+    max_id = std::max({max_id, e.first, e.second});
+  }
+  const size_t nv = edges.empty() ? 0 : static_cast<size_t>(max_id) + 1;
+
+  CsrGraph graph;
+  graph.num_edges_ = edges.size();
+  graph.offsets_.assign(nv + 1, 0);
+  for (const Edge& e : edges) {
+    ++graph.offsets_[e.first + 1];
+    ++graph.offsets_[e.second + 1];
+  }
+  for (size_t v = 0; v < nv; ++v) {
+    graph.offsets_[v + 1] += graph.offsets_[v];
+  }
+  graph.adjacency_.resize(graph.offsets_[nv]);
+  std::vector<uint64_t> cursor(graph.offsets_.begin(),
+                               graph.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    graph.adjacency_[cursor[e.first]++] = e.second;
+    graph.adjacency_[cursor[e.second]++] = e.first;
+  }
+  return graph;
+}
+
+}  // namespace tpsl

@@ -1,0 +1,57 @@
+#ifndef TPSL_GRAPH_CSR_H_
+#define TPSL_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_stream.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Compressed-sparse-row adjacency for an undirected graph. Each edge
+/// (u, v) appears in both adjacency lists. This is the in-memory
+/// materialization that the paper's in-memory baselines (NE, DNE,
+/// METIS) require — by definition O(|E|) space, which is exactly what
+/// the out-of-core partitioners avoid.
+class CsrGraph {
+ public:
+  /// Builds adjacency from one pass over `edges` (two passes over the
+  /// stream: degree count + fill).
+  static StatusOr<CsrGraph> FromStream(EdgeStream& stream);
+  static CsrGraph FromEdges(const std::vector<Edge>& edges);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return num_edges_; }
+
+  uint32_t degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of v, with multiplicity; a self-loop appears twice.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Bytes of heap memory held by the structure (for the space
+  /// accounting in Table II experiments).
+  uint64_t HeapBytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           adjacency_.size() * sizeof(VertexId);
+  }
+
+ private:
+  CsrGraph() = default;
+
+  std::vector<uint64_t> offsets_;  // size num_vertices + 1
+  std::vector<VertexId> adjacency_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_GRAPH_CSR_H_

@@ -1,0 +1,49 @@
+#ifndef TPSL_GRAPH_DATASETS_H_
+#define TPSL_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Named, laptop-scale stand-ins for the paper's evaluation graphs
+/// (Table III). Each entry maps a paper dataset to a deterministic
+/// generator configuration that preserves its qualitative character:
+///
+///   OK  (com-orkut, social)      -> R-MAT, heavy skew, hard to partition
+///   WI  (wikipedia, social/info) -> R-MAT, moderate skew
+///   IT  (it-2004, web)           -> planted partition, strong communities
+///   TW  (twitter-2010, social)   -> R-MAT, extreme skew
+///   FR  (com-friendster, social) -> R-MAT, low clustering
+///   UK  (uk-2007-05, web)        -> planted partition
+///   GSH (gsh-2015, web)          -> planted partition, many communities
+///   WDC (wdc-2014, web)          -> planted partition, many communities
+///
+/// Scaled sizes keep every experiment runnable in seconds while
+/// retaining the paper's ordering |OK| < |IT| < |TW| < |FR| < |UK| <
+/// |GSH| < |WDC|.
+struct DatasetSpec {
+  std::string name;        // short code used in the paper's plots
+  std::string paper_name;  // full dataset name in the paper
+  enum class Kind { kSocial, kWeb } kind;
+};
+
+/// All seven graphs from paper Table III, in paper order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// The four graphs used in the paper's re-streaming / 2PS-HDRF studies
+/// (Figs. 7-9): OK, IT, TW, FR.
+const std::vector<DatasetSpec>& RestreamingStudyDatasets();
+
+/// Materializes the named dataset (edge list). `scale_shift` uniformly
+/// shrinks (>0) or grows (<0 not supported) every dataset, for quick
+/// smoke runs; 0 = default benchmark size.
+StatusOr<std::vector<Edge>> LoadDataset(const std::string& name,
+                                        int scale_shift = 0);
+
+}  // namespace tpsl
+
+#endif  // TPSL_GRAPH_DATASETS_H_

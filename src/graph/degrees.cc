@@ -1,0 +1,24 @@
+#include "graph/degrees.h"
+
+#include <algorithm>
+
+namespace tpsl {
+
+StatusOr<DegreeTable> ComputeDegrees(EdgeStream& stream) {
+  DegreeTable table;
+  Status status = ForEachEdge(stream, [&table](const Edge& e) {
+    const VertexId hi = std::max(e.first, e.second);
+    if (hi >= table.degrees.size()) {
+      table.degrees.resize(static_cast<size_t>(hi) + 1, 0);
+    }
+    ++table.degrees[e.first];
+    ++table.degrees[e.second];
+    ++table.num_edges;
+  });
+  if (!status.ok()) {
+    return status;
+  }
+  return table;
+}
+
+}  // namespace tpsl

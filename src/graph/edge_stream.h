@@ -1,0 +1,55 @@
+#ifndef TPSL_GRAPH_EDGE_STREAM_H_
+#define TPSL_GRAPH_EDGE_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Sequential, restartable edge stream — the out-of-core access model
+/// of the paper. A stream can be consumed any number of times; each
+/// pass starts with Reset() and pulls batches with Next() until it
+/// returns 0. Implementations: in-memory vectors, binary files, and
+/// bandwidth-throttled wrappers (storage simulation).
+///
+/// Streaming partitioners in this library interact with graphs only
+/// through this interface, which keeps them honest: no random access,
+/// no edge-set materialization.
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  /// Rewinds the stream to the beginning for another pass.
+  virtual Status Reset() = 0;
+
+  /// Fills up to `capacity` edges into `out`; returns the number of
+  /// edges delivered, 0 at end of stream.
+  virtual size_t Next(Edge* out, size_t capacity) = 0;
+
+  /// Total number of edges in the stream, if known up front (binary
+  /// files and in-memory streams know it). Returns 0 when unknown.
+  virtual uint64_t NumEdgesHint() const { return 0; }
+};
+
+/// Convenience: performs one full pass, invoking `fn(edge)` per edge.
+/// Uses an internal batch buffer so virtual-call overhead is amortized.
+template <typename Fn>
+Status ForEachEdge(EdgeStream& stream, Fn&& fn) {
+  TPSL_RETURN_IF_ERROR(stream.Reset());
+  constexpr size_t kBatch = 4096;
+  Edge buffer[kBatch];
+  size_t n;
+  while ((n = stream.Next(buffer, kBatch)) > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(buffer[i]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpsl
+
+#endif  // TPSL_GRAPH_EDGE_STREAM_H_

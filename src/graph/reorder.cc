@@ -1,0 +1,74 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace tpsl {
+
+std::vector<VertexId> BfsOrder(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> new_id(n, kInvalidVertex);
+  VertexId next = 0;
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (new_id[root] != kInvalidVertex) {
+      continue;
+    }
+    new_id[root] = next++;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const VertexId u : graph.neighbors(v)) {
+        if (new_id[u] == kInvalidVertex) {
+          new_id[u] = next++;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return new_id;
+}
+
+std::vector<VertexId> DegreeOrder(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&graph](VertexId a, VertexId b) {
+                     return graph.degree(a) > graph.degree(b);
+                   });
+  std::vector<VertexId> new_id(n);
+  for (VertexId rank = 0; rank < n; ++rank) {
+    new_id[by_degree[rank]] = rank;
+  }
+  return new_id;
+}
+
+std::vector<VertexId> RandomOrder(VertexId num_vertices, uint64_t seed) {
+  std::vector<VertexId> new_id(num_vertices);
+  std::iota(new_id.begin(), new_id.end(), 0);
+  SplitMix64 rng(seed);
+  for (size_t i = new_id.size(); i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(new_id[i - 1], new_id[j]);
+  }
+  return new_id;
+}
+
+Status RelabelEdges(const std::vector<VertexId>& new_id,
+                    std::vector<Edge>* edges) {
+  for (Edge& e : *edges) {
+    if (e.first >= new_id.size() || e.second >= new_id.size()) {
+      return Status::OutOfRange("edge endpoint outside permutation");
+    }
+    e.first = new_id[e.first];
+    e.second = new_id[e.second];
+  }
+  return Status::OK();
+}
+
+}  // namespace tpsl

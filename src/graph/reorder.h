@@ -1,0 +1,39 @@
+#ifndef TPSL_GRAPH_REORDER_H_
+#define TPSL_GRAPH_REORDER_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Vertex relabeling utilities. Real-world graph dumps differ wildly
+/// in id locality (WebGraph crawls are near-BFS ordered, which is why
+/// web graphs cluster so well; Gemini exploits the same property), so
+/// experiments on ordering sensitivity need controlled relabelings.
+///
+/// All functions return a permutation `new_id[old_id]` over
+/// [0, num_vertices) and leave the edge list untouched; apply it with
+/// RelabelEdges.
+
+/// BFS order from the lowest-id vertex of each component: neighbors
+/// receive consecutive ids — maximal locality.
+std::vector<VertexId> BfsOrder(const CsrGraph& graph);
+
+/// Descending-degree order: hubs get the smallest ids (the layout of
+/// many social-network dumps).
+std::vector<VertexId> DegreeOrder(const CsrGraph& graph);
+
+/// Random permutation — destroys all id locality.
+std::vector<VertexId> RandomOrder(VertexId num_vertices, uint64_t seed);
+
+/// Applies a permutation in place. Every edge endpoint must be covered
+/// by the permutation.
+Status RelabelEdges(const std::vector<VertexId>& new_id,
+                    std::vector<Edge>* edges);
+
+}  // namespace tpsl
+
+#endif  // TPSL_GRAPH_REORDER_H_

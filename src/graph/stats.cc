@@ -1,0 +1,79 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace tpsl {
+
+DegreeStats ComputeDegreeStats(const std::vector<uint32_t>& degrees) {
+  DegreeStats stats;
+  if (degrees.empty()) {
+    return stats;
+  }
+  std::vector<uint32_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+
+  uint64_t total = 0;
+  for (const uint32_t d : sorted) {
+    total += d;
+  }
+  stats.max_degree = sorted.back();
+  stats.mean_degree =
+      static_cast<double>(total) / static_cast<double>(sorted.size());
+  stats.p99_degree = sorted[sorted.size() * 99 / 100];
+
+  // Gini via the sorted-values formula:
+  // G = (2 Σ i·x_i) / (n Σ x_i) − (n + 1) / n, with 1-based i.
+  if (total > 0) {
+    long double weighted = 0;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      weighted += static_cast<long double>(i + 1) * sorted[i];
+    }
+    const long double n = static_cast<long double>(sorted.size());
+    stats.gini = static_cast<double>(2.0L * weighted / (n * total) -
+                                     (n + 1.0L) / n);
+  }
+  return stats;
+}
+
+double EstimateClusteringCoefficient(const CsrGraph& graph, uint64_t samples,
+                                     uint64_t seed) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0 || samples == 0) {
+    return 0.0;
+  }
+  SplitMix64 rng(seed);
+  uint64_t wedges = 0;
+  uint64_t closed = 0;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = samples * 16;
+  while (wedges < samples && attempts < max_attempts) {
+    ++attempts;
+    const VertexId center = static_cast<VertexId>(rng.NextBounded(n));
+    const auto neighbors = graph.neighbors(center);
+    if (neighbors.size() < 2) {
+      continue;
+    }
+    const VertexId a = neighbors[rng.NextBounded(neighbors.size())];
+    const VertexId b = neighbors[rng.NextBounded(neighbors.size())];
+    if (a == b || a == center || b == center) {
+      continue;
+    }
+    ++wedges;
+    // Check adjacency on the lower-degree endpoint.
+    const VertexId probe = graph.degree(a) <= graph.degree(b) ? a : b;
+    const VertexId target = probe == a ? b : a;
+    for (const VertexId u : graph.neighbors(probe)) {
+      if (u == target) {
+        ++closed;
+        break;
+      }
+    }
+  }
+  return wedges == 0 ? 0.0
+                     : static_cast<double>(closed) /
+                           static_cast<double>(wedges);
+}
+
+}  // namespace tpsl

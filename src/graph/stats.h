@@ -1,0 +1,36 @@
+#ifndef TPSL_GRAPH_STATS_H_
+#define TPSL_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace tpsl {
+
+/// Structural statistics used to validate that the synthetic dataset
+/// stand-ins actually exhibit the properties the substitution argument
+/// relies on (DESIGN.md §4): degree skew for social graphs, local
+/// density (triangles) for community graphs.
+struct DegreeStats {
+  uint32_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// 99th-percentile degree.
+  uint32_t p99_degree = 0;
+  /// Gini coefficient of the degree distribution in [0, 1); higher =
+  /// more skew (power-law graphs are typically > 0.5).
+  double gini = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const std::vector<uint32_t>& degrees);
+
+/// Monte-Carlo estimate of the global clustering coefficient: sample
+/// `samples` wedges (u, v, w) with v the center and test whether (u,
+/// w) closes a triangle. Deterministic in the seed.
+double EstimateClusteringCoefficient(const CsrGraph& graph, uint64_t samples,
+                                     uint64_t seed);
+
+}  // namespace tpsl
+
+#endif  // TPSL_GRAPH_STATS_H_

@@ -1,0 +1,63 @@
+#include "graph/text_edge_list.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace tpsl {
+
+Status WriteTextEdgeList(const std::string& path,
+                         const std::vector<Edge>& edges) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for writing: " + path + ": " +
+                           std::strerror(errno));
+  }
+  for (const Edge& e : edges) {
+    if (std::fprintf(file, "%u %u\n", e.first, e.second) < 0) {
+      std::fclose(file);
+      return Status::IoError("short write to " + path);
+    }
+  }
+  if (std::fclose(file) != 0) {
+    return Status::IoError("close failed for " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Edge>> ReadTextEdgeList(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound("no such file: " + path);
+  }
+  std::vector<Edge> edges;
+  char line[256];
+  uint64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_no;
+    // Skip comments and blank lines.
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') {
+      continue;
+    }
+    uint64_t u = 0, v = 0;
+    if (std::sscanf(p, "%" SCNu64 " %" SCNu64, &u, &v) != 2) {
+      std::fclose(file);
+      return Status::IoError("malformed line " + std::to_string(line_no) +
+                             " in " + path);
+    }
+    if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
+      std::fclose(file);
+      return Status::OutOfRange("vertex id exceeds 32-bit range at line " +
+                                std::to_string(line_no) + " in " + path);
+    }
+    edges.push_back(
+        Edge{static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  std::fclose(file);
+  return edges;
+}
+
+}  // namespace tpsl

@@ -1,0 +1,23 @@
+#ifndef TPSL_GRAPH_TEXT_EDGE_LIST_H_
+#define TPSL_GRAPH_TEXT_EDGE_LIST_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// ASCII edge-list interchange format (one "u v" pair per line, '#' or
+/// '%' comment lines skipped), compatible with SNAP / KONECT dataset
+/// dumps. Some of the paper's baselines (METIS, DNE, ADWISE) ingest
+/// this format; we support it for interoperability and tooling.
+Status WriteTextEdgeList(const std::string& path,
+                         const std::vector<Edge>& edges);
+
+StatusOr<std::vector<Edge>> ReadTextEdgeList(const std::string& path);
+
+}  // namespace tpsl
+
+#endif  // TPSL_GRAPH_TEXT_EDGE_LIST_H_

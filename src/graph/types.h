@@ -1,0 +1,52 @@
+#ifndef TPSL_GRAPH_TYPES_H_
+#define TPSL_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace tpsl {
+
+/// Vertex identifier. The paper's binary edge-list format uses 32-bit
+/// IDs; we keep that width and use 64-bit types only for counts.
+using VertexId = uint32_t;
+
+/// Partition identifier in [0, k).
+using PartitionId = uint32_t;
+
+/// Cluster identifier produced by the streaming clustering phase.
+using ClusterId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+inline constexpr ClusterId kInvalidCluster =
+    std::numeric_limits<ClusterId>::max();
+
+/// An undirected edge. Streams deliver edges in file order; algorithms
+/// must not assume any normalization of (first, second).
+struct Edge {
+  VertexId first = 0;
+  VertexId second = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+  friend bool operator!=(const Edge& a, const Edge& b) { return !(a == b); }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  }
+};
+
+static_assert(sizeof(Edge) == 8, "Edge must match the on-disk layout");
+
+}  // namespace tpsl
+
+template <>
+struct std::hash<tpsl::Edge> {
+  size_t operator()(const tpsl::Edge& e) const {
+    return (static_cast<uint64_t>(e.first) << 32) | e.second;
+  }
+};
+
+#endif  // TPSL_GRAPH_TYPES_H_

@@ -1,0 +1,96 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tpsl {
+
+VertexId Hypergraph::NumVertices() const {
+  VertexId max_id = 0;
+  bool any = false;
+  for (const Hyperedge& e : edges) {
+    for (const VertexId pin : e.pins) {
+      max_id = std::max(max_id, pin);
+      any = true;
+    }
+  }
+  return any ? max_id + 1 : 0;
+}
+
+uint64_t Hypergraph::NumPins() const {
+  uint64_t pins = 0;
+  for (const Hyperedge& e : edges) {
+    pins += e.pins.size();
+  }
+  return pins;
+}
+
+Hypergraph GeneratePlantedHypergraph(const PlantedHypergraphConfig& config) {
+  TPSL_CHECK(config.min_pins >= 2);
+  TPSL_CHECK(config.max_pins >= config.min_pins);
+  TPSL_CHECK(config.num_communities > 0);
+  TPSL_CHECK(config.num_vertices >= config.num_communities);
+  SplitMix64 rng(config.seed);
+
+  const VertexId community_size =
+      config.num_vertices / config.num_communities;
+  Hypergraph hypergraph;
+  hypergraph.edges.reserve(config.num_hyperedges);
+  for (uint64_t i = 0; i < config.num_hyperedges; ++i) {
+    const uint32_t size = config.min_pins + static_cast<uint32_t>(rng.NextBounded(
+                              config.max_pins - config.min_pins + 1));
+    Hyperedge edge;
+    edge.pins.reserve(size);
+    const bool intra = rng.NextDouble() < config.intra_fraction;
+    const VertexId lo =
+        intra ? static_cast<VertexId>(
+                    rng.NextBounded(config.num_communities)) *
+                    community_size
+              : 0;
+    const VertexId range = intra ? community_size : config.num_vertices;
+    for (uint32_t j = 0; j < size; ++j) {
+      edge.pins.push_back(lo + static_cast<VertexId>(rng.NextBounded(range)));
+    }
+    // Duplicate pins within a hyperedge are legal but useless; drop
+    // them while preserving order.
+    std::vector<VertexId> unique_pins;
+    for (const VertexId pin : edge.pins) {
+      if (std::find(unique_pins.begin(), unique_pins.end(), pin) ==
+          unique_pins.end()) {
+        unique_pins.push_back(pin);
+      }
+    }
+    edge.pins = std::move(unique_pins);
+    if (edge.pins.size() >= 2) {
+      hypergraph.edges.push_back(std::move(edge));
+    }
+  }
+  return hypergraph;
+}
+
+size_t StarExpansionStream::Next(Edge* out, size_t capacity) {
+  size_t produced = 0;
+  while (produced < capacity && edge_index_ < hypergraph_->edges.size()) {
+    const std::vector<VertexId>& pins =
+        hypergraph_->edges[edge_index_].pins;
+    if (pin_index_ >= pins.size()) {
+      ++edge_index_;
+      pin_index_ = 1;
+      continue;
+    }
+    out[produced++] = Edge{pins[0], pins[pin_index_++]};
+  }
+  return produced;
+}
+
+uint64_t StarExpansionStream::NumEdgesHint() const {
+  uint64_t total = 0;
+  for (const Hyperedge& e : hypergraph_->edges) {
+    total += e.pins.empty() ? 0 : e.pins.size() - 1;
+  }
+  return total;
+}
+
+}  // namespace tpsl

@@ -1,0 +1,78 @@
+#ifndef TPSL_HYPERGRAPH_HYPERGRAPH_H_
+#define TPSL_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_stream.h"
+#include "graph/types.h"
+
+namespace tpsl {
+
+/// Hypergraph support — the generalization the paper names as future
+/// work ("we plan to investigate the generalization of 2PS-L to
+/// hypergraphs"). A hyperedge connects an arbitrary set of pins
+/// (vertices); hyperedge partitioning splits the hyperedge set into k
+/// balanced parts minimizing pin replication.
+struct Hyperedge {
+  std::vector<VertexId> pins;
+
+  friend bool operator==(const Hyperedge& a, const Hyperedge& b) {
+    return a.pins == b.pins;
+  }
+};
+
+struct Hypergraph {
+  std::vector<Hyperedge> edges;
+
+  /// Max pin id + 1 over all hyperedges.
+  VertexId NumVertices() const;
+
+  /// Total pin count Σ|e| (the hypergraph "volume").
+  uint64_t NumPins() const;
+};
+
+/// Planted-community hypergraph generator: pins of an intra hyperedge
+/// come from one community; otherwise pins are sampled globally.
+/// Deterministic in the seed.
+struct PlantedHypergraphConfig {
+  VertexId num_vertices = 1 << 14;
+  uint64_t num_hyperedges = 1 << 16;
+  uint32_t min_pins = 2;
+  uint32_t max_pins = 8;
+  uint32_t num_communities = 256;
+  double intra_fraction = 0.9;
+  uint64_t seed = 1;
+};
+
+Hypergraph GeneratePlantedHypergraph(const PlantedHypergraphConfig& config);
+
+/// Star-expansion view of a hypergraph as an EdgeStream: hyperedge
+/// {p0, p1, ..., pn} is emitted as edges (p0,p1), (p0,p2), ..., (p0,pn).
+/// This lets the plain-graph streaming clustering (paper Algorithm 1)
+/// run unchanged on hypergraphs, which is exactly the reuse the
+/// two-phase design enables.
+class StarExpansionStream : public EdgeStream {
+ public:
+  explicit StarExpansionStream(const Hypergraph* hypergraph)
+      : hypergraph_(hypergraph) {}
+
+  Status Reset() override {
+    edge_index_ = 0;
+    pin_index_ = 1;
+    return Status::OK();
+  }
+
+  size_t Next(Edge* out, size_t capacity) override;
+
+  uint64_t NumEdgesHint() const override;
+
+ private:
+  const Hypergraph* hypergraph_;
+  size_t edge_index_ = 0;
+  size_t pin_index_ = 1;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_HYPERGRAPH_HYPERGRAPH_H_

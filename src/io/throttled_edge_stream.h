@@ -1,0 +1,77 @@
+#ifndef TPSL_IO_THROTTLED_EDGE_STREAM_H_
+#define TPSL_IO_THROTTLED_EDGE_STREAM_H_
+
+#include <cstdint>
+
+#include "graph/edge_stream.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Storage-device profiles for the paper's Table V experiment
+/// (partitioning from page cache vs SSD vs HDD). Bandwidths are the
+/// fio-profiled sequential read speeds reported in the paper.
+struct StorageProfile {
+  const char* name;
+  /// Sequential read bandwidth in bytes/second; 0 = unthrottled.
+  uint64_t bytes_per_second;
+};
+
+inline constexpr StorageProfile kPageCacheProfile{"PageCache", 0};
+inline constexpr StorageProfile kSsdProfile{"SSD", 938ull * 1000 * 1000};
+inline constexpr StorageProfile kHddProfile{"HDD", 158ull * 1000 * 1000};
+
+/// Wraps any EdgeStream and accounts the virtual I/O time a storage
+/// device with the given sequential bandwidth would need to deliver the
+/// bytes read so far. The wrapper never sleeps: benchmarks combine the
+/// measured compute time with the simulated I/O stall time
+/// (max(0, io_time - compute_time overlapped) — Table V reports the
+/// conservative sum, see bench/table5_storage).
+///
+/// Every Reset() models a dropped page cache (the paper drops caches
+/// between passes), so each pass pays full I/O cost.
+class ThrottledEdgeStream : public EdgeStream {
+ public:
+  ThrottledEdgeStream(EdgeStream* inner, StorageProfile profile)
+      : inner_(inner), profile_(profile) {}
+
+  Status Reset() override {
+    passes_ += 1;
+    return inner_->Reset();
+  }
+
+  size_t Next(Edge* out, size_t capacity) override {
+    const size_t n = inner_->Next(out, capacity);
+    bytes_read_ += n * sizeof(Edge);
+    return n;
+  }
+
+  uint64_t NumEdgesHint() const override { return inner_->NumEdgesHint(); }
+
+  /// Total bytes delivered across all passes.
+  uint64_t bytes_read() const { return bytes_read_; }
+
+  /// Number of Reset() calls (≈ streaming passes started).
+  uint64_t passes() const { return passes_; }
+
+  /// Seconds the profiled device would need for the observed reads.
+  double SimulatedIoSeconds() const {
+    if (profile_.bytes_per_second == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(bytes_read_) /
+           static_cast<double>(profile_.bytes_per_second);
+  }
+
+  const StorageProfile& profile() const { return profile_; }
+
+ private:
+  EdgeStream* inner_;
+  StorageProfile profile_;
+  uint64_t bytes_read_ = 0;
+  uint64_t passes_ = 0;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_IO_THROTTLED_EDGE_STREAM_H_

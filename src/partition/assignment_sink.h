@@ -1,0 +1,84 @@
+#ifndef TPSL_PARTITION_ASSIGNMENT_SINK_H_
+#define TPSL_PARTITION_ASSIGNMENT_SINK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tpsl {
+
+/// Receives the (edge -> partition) decisions of a partitioner as they
+/// are made. Mirrors the paper's implementation note: the partitioner
+/// "writes back the partitioned graph data to storage" — a sink is the
+/// seam where that write-back (or any consumer) plugs in.
+class AssignmentSink {
+ public:
+  virtual ~AssignmentSink() = default;
+
+  virtual void Assign(const Edge& edge, PartitionId partition) = 0;
+};
+
+/// Counts edges per partition; the cheapest sink for quality metrics.
+class CountingSink : public AssignmentSink {
+ public:
+  explicit CountingSink(uint32_t num_partitions) : loads_(num_partitions, 0) {}
+
+  void Assign(const Edge& /*edge*/, PartitionId partition) override {
+    ++loads_[partition];
+  }
+
+  const std::vector<uint64_t>& loads() const { return loads_; }
+
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (uint64_t load : loads_) sum += load;
+    return sum;
+  }
+
+ private:
+  std::vector<uint64_t> loads_;
+};
+
+/// Materializes per-partition edge lists; used by the distributed
+/// processing simulator and by partitioned-output writers.
+class EdgeListSink : public AssignmentSink {
+ public:
+  explicit EdgeListSink(uint32_t num_partitions) : partitions_(num_partitions) {}
+
+  void Assign(const Edge& edge, PartitionId partition) override {
+    partitions_[partition].push_back(edge);
+  }
+
+  const std::vector<std::vector<Edge>>& partitions() const {
+    return partitions_;
+  }
+
+  /// Moves the materialized partitions out; the sink is empty after.
+  std::vector<std::vector<Edge>> TakePartitions() {
+    return std::move(partitions_);
+  }
+
+ private:
+  std::vector<std::vector<Edge>> partitions_;
+};
+
+/// Fans one assignment out to several sinks.
+class TeeSink : public AssignmentSink {
+ public:
+  TeeSink(AssignmentSink* a, AssignmentSink* b) : a_(a), b_(b) {}
+
+  void Assign(const Edge& edge, PartitionId partition) override {
+    a_->Assign(edge, partition);
+    b_->Assign(edge, partition);
+  }
+
+ private:
+  AssignmentSink* a_;
+  AssignmentSink* b_;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_PARTITION_ASSIGNMENT_SINK_H_

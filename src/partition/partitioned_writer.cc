@@ -1,0 +1,81 @@
+#include "partition/partitioned_writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace tpsl {
+
+PartitionedWriter::PartitionedWriter(const std::string& prefix,
+                                     uint32_t num_partitions)
+    : prefix_(prefix),
+      files_(num_partitions, nullptr),
+      edge_counts_(num_partitions, 0) {
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    const std::string path = PartitionPath(p);
+    files_[p] = std::fopen(path.c_str(), "wb");
+    if (files_[p] == nullptr) {
+      status_ = Status::IoError("cannot open " + path + ": " +
+                                std::strerror(errno));
+      return;
+    }
+  }
+}
+
+PartitionedWriter::~PartitionedWriter() {
+  for (std::FILE* file : files_) {
+    if (file != nullptr) {
+      std::fclose(file);
+    }
+  }
+}
+
+std::string PartitionedWriter::PartitionPath(PartitionId p) const {
+  return prefix_ + ".part" + std::to_string(p) + ".bin";
+}
+
+void PartitionedWriter::Assign(const Edge& edge, PartitionId partition) {
+  if (!status_.ok()) {
+    return;
+  }
+  if (std::fwrite(&edge, sizeof(Edge), 1, files_[partition]) != 1) {
+    status_ = Status::IoError("short write to " + PartitionPath(partition));
+    return;
+  }
+  ++edge_counts_[partition];
+}
+
+Status PartitionedWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish() called twice");
+  }
+  finished_ = true;
+  for (size_t p = 0; p < files_.size(); ++p) {
+    if (files_[p] != nullptr) {
+      if (std::fclose(files_[p]) != 0 && status_.ok()) {
+        status_ = Status::IoError("close failed for " +
+                                  PartitionPath(static_cast<PartitionId>(p)));
+      }
+      files_[p] = nullptr;
+    }
+  }
+  if (!status_.ok()) {
+    return status_;
+  }
+  const std::string manifest_path = prefix_ + ".manifest";
+  std::FILE* manifest = std::fopen(manifest_path.c_str(), "w");
+  if (manifest == nullptr) {
+    return Status::IoError("cannot open " + manifest_path);
+  }
+  std::fprintf(manifest, "partitions %zu\n", files_.size());
+  for (size_t p = 0; p < files_.size(); ++p) {
+    std::fprintf(manifest, "part %zu edges %llu file %s\n", p,
+                 static_cast<unsigned long long>(edge_counts_[p]),
+                 PartitionPath(static_cast<PartitionId>(p)).c_str());
+  }
+  if (std::fclose(manifest) != 0) {
+    return Status::IoError("close failed for " + manifest_path);
+  }
+  return Status::OK();
+}
+
+}  // namespace tpsl

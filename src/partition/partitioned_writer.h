@@ -1,0 +1,53 @@
+#ifndef TPSL_PARTITION_PARTITIONED_WRITER_H_
+#define TPSL_PARTITION_PARTITIONED_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "partition/assignment_sink.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Streams edge assignments straight to one binary edge-list file per
+/// partition — the paper's write-back step ("writes back the
+/// partitioned graph data to storage") without materializing the
+/// partitions in memory. Files are named
+/// `<prefix>.part<id>.bin`; Finish() flushes, closes and writes a
+/// plain-text manifest `<prefix>.manifest` with per-partition edge
+/// counts.
+class PartitionedWriter : public AssignmentSink {
+ public:
+  /// Opens `num_partitions` output files. Check status() before use.
+  PartitionedWriter(const std::string& prefix, uint32_t num_partitions);
+  ~PartitionedWriter() override;
+
+  PartitionedWriter(const PartitionedWriter&) = delete;
+  PartitionedWriter& operator=(const PartitionedWriter&) = delete;
+
+  /// Non-OK if any file failed to open or a write failed so far.
+  const Status& status() const { return status_; }
+
+  void Assign(const Edge& edge, PartitionId partition) override;
+
+  /// Flushes and closes all files and writes the manifest. Must be
+  /// called exactly once; returns the terminal status.
+  Status Finish();
+
+  /// Path of partition p's file.
+  std::string PartitionPath(PartitionId p) const;
+
+  const std::vector<uint64_t>& edge_counts() const { return edge_counts_; }
+
+ private:
+  std::string prefix_;
+  std::vector<std::FILE*> files_;
+  std::vector<uint64_t> edge_counts_;
+  Status status_;
+  bool finished_ = false;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_PARTITION_PARTITIONED_WRITER_H_

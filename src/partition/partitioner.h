@@ -1,0 +1,96 @@
+#ifndef TPSL_PARTITION_PARTITIONER_H_
+#define TPSL_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/edge_stream.h"
+#include "graph/types.h"
+#include "partition/assignment_sink.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// User-facing configuration of an edge-partitioning run, matching the
+/// paper's problem statement (§II-A): k partitions, balance factor α.
+struct PartitionConfig {
+  /// Number of partitions (k > 1 in the paper; we also accept k == 1).
+  uint32_t num_partitions = 32;
+
+  /// Imbalance factor α >= 1: no partition may exceed α·|E|/k edges.
+  double balance_factor = 1.05;
+
+  /// Seed for every randomized decision (hashing, tie-breaking).
+  uint64_t seed = 42;
+
+  /// Maximum edge capacity of one partition for a graph with
+  /// `num_edges` edges: ceil(α·|E|/k), but never below ceil(|E|/k) so a
+  /// feasible assignment always exists.
+  uint64_t PartitionCapacity(uint64_t num_edges) const {
+    const double cap = balance_factor * static_cast<double>(num_edges) /
+                       num_partitions;
+    uint64_t capacity = static_cast<uint64_t>(cap);
+    if (static_cast<double>(capacity) < cap) {
+      ++capacity;
+    }
+    const uint64_t floor_cap =
+        (num_edges + num_partitions - 1) / num_partitions;
+    return capacity < floor_cap ? floor_cap : capacity;
+  }
+};
+
+/// Run-time / state accounting emitted by every partitioner; feeds the
+/// paper's Fig. 4 (run-time, memory) and Fig. 5 (phase breakdown).
+struct PartitionStats {
+  /// Wall-clock seconds per named phase, e.g. "degree", "clustering",
+  /// "partitioning". Sum = total partitioning time.
+  std::map<std::string, double> phase_seconds;
+
+  /// Number of full passes over the edge stream performed.
+  uint32_t stream_passes = 0;
+
+  /// Bytes of algorithm state held at peak (replication tables, degree
+  /// arrays, cluster maps, buffers, adjacency if in-memory).
+  uint64_t state_bytes = 0;
+
+  /// 2PS-specific: edges assigned in the pre-partitioning step vs the
+  /// scoring pass (paper Fig. 6). Zero for other partitioners.
+  uint64_t prepartitioned_edges = 0;
+  uint64_t remaining_edges = 0;
+
+  double TotalSeconds() const {
+    double total = 0;
+    for (const auto& [name, seconds] : phase_seconds) {
+      total += seconds;
+    }
+    return total;
+  }
+};
+
+/// Abstract edge partitioner. Implementations must
+///  * assign every edge of the stream exactly once via `sink`,
+///  * never exceed config.PartitionCapacity(|E|) edges per partition,
+///  * touch the graph only through `stream` (multi-pass sequential).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Human-readable identifier used in experiment output ("2PS-L",
+  /// "HDRF", ...).
+  virtual std::string name() const = 0;
+
+  /// Whether this partitioner guarantees the hard α·|E|/k cap. Pure
+  /// hashing partitioners (DBH, Grid, uniform hash) do not — the paper
+  /// annotates their measured α in the plots instead (Fig. 4).
+  virtual bool enforces_balance_cap() const { return true; }
+
+  /// Partitions `stream` into `config.num_partitions` parts, reporting
+  /// assignments to `sink`. `stats` may be null.
+  virtual Status Partition(EdgeStream& stream, const PartitionConfig& config,
+                           AssignmentSink& sink, PartitionStats* stats) = 0;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_PARTITION_PARTITIONER_H_

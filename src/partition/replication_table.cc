@@ -1,0 +1,34 @@
+#include "partition/replication_table.h"
+
+namespace tpsl {
+
+ReplicationTable::ReplicationTable(VertexId num_vertices,
+                                   uint32_t num_partitions)
+    : num_vertices_(num_vertices),
+      num_partitions_(num_partitions),
+      bits_((static_cast<uint64_t>(num_vertices) * num_partitions + 63) / 64,
+            0),
+      cover_sizes_(num_partitions, 0),
+      replica_counts_(num_vertices, 0) {}
+
+double ReplicationTable::ReplicationFactor() const {
+  const uint64_t covered = CoveredVertices();
+  if (covered == 0) {
+    return 0.0;
+  }
+  uint64_t total_replicas = 0;
+  for (uint64_t size : cover_sizes_) {
+    total_replicas += size;
+  }
+  return static_cast<double>(total_replicas) / static_cast<double>(covered);
+}
+
+uint64_t ReplicationTable::CoveredVertices() const {
+  uint64_t covered = 0;
+  for (uint32_t count : replica_counts_) {
+    covered += (count > 0) ? 1 : 0;
+  }
+  return covered;
+}
+
+}  // namespace tpsl

@@ -1,0 +1,92 @@
+#ifndef TPSL_PARTITION_REPLICATION_TABLE_H_
+#define TPSL_PARTITION_REPLICATION_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tpsl {
+
+/// Vertex-to-partition replication bit matrix — the `v2p` state of
+/// paper Algorithm 2, and the dominant O(|V|·k) space term of every
+/// stateful streaming partitioner (Table II).
+///
+/// Maintains per-partition vertex-cover counts |V(p_i)| incrementally
+/// so the replication factor is available in O(k) at any time.
+class ReplicationTable {
+ public:
+  ReplicationTable(VertexId num_vertices, uint32_t num_partitions);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  uint32_t num_partitions() const { return num_partitions_; }
+
+  /// Whether vertex v is replicated on partition p.
+  bool Test(VertexId v, PartitionId p) const {
+    const uint64_t bit = Index(v, p);
+    return (bits_[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  /// Extends the table to cover vertices up to `new_num_vertices - 1`
+  /// (no-op if already large enough). Rows are vertex-major, so growth
+  /// is a cheap append; used by the incremental partitioner when a
+  /// dynamic graph introduces unseen vertices.
+  void GrowVertices(VertexId new_num_vertices) {
+    if (new_num_vertices <= num_vertices_) {
+      return;
+    }
+    num_vertices_ = new_num_vertices;
+    bits_.resize(
+        (static_cast<uint64_t>(num_vertices_) * num_partitions_ + 63) / 64,
+        0);
+    replica_counts_.resize(num_vertices_, 0);
+  }
+
+  /// Marks v as replicated on p (idempotent).
+  void Set(VertexId v, PartitionId p) {
+    const uint64_t bit = Index(v, p);
+    uint64_t& word = bits_[bit >> 6];
+    const uint64_t mask = uint64_t{1} << (bit & 63);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++cover_sizes_[p];
+      ++replica_counts_[v];
+    }
+  }
+
+  /// Number of partitions vertex v is replicated on.
+  uint32_t ReplicaCount(VertexId v) const { return replica_counts_[v]; }
+
+  /// |V(p)| — size of partition p's vertex cover set.
+  uint64_t CoverSize(PartitionId p) const { return cover_sizes_[p]; }
+
+  /// Replication factor over the `num_covered` vertices that actually
+  /// appear in the graph: (1/|V|) Σ_i |V(p_i)|. Computed against the
+  /// number of vertices with at least one replica.
+  double ReplicationFactor() const;
+
+  /// Total vertices with >= 1 replica (i.e., non-isolated vertices).
+  uint64_t CoveredVertices() const;
+
+  /// Bytes of heap memory held (for the paper's memory accounting).
+  uint64_t HeapBytes() const {
+    return bits_.size() * sizeof(uint64_t) +
+           cover_sizes_.size() * sizeof(uint64_t) +
+           replica_counts_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  uint64_t Index(VertexId v, PartitionId p) const {
+    return static_cast<uint64_t>(v) * num_partitions_ + p;
+  }
+
+  VertexId num_vertices_;
+  uint32_t num_partitions_;
+  std::vector<uint64_t> bits_;
+  std::vector<uint64_t> cover_sizes_;
+  std::vector<uint32_t> replica_counts_;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_PARTITION_REPLICATION_TABLE_H_

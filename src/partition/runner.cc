@@ -1,0 +1,45 @@
+#include "partition/runner.h"
+
+#include <limits>
+#include <utility>
+
+#include "partition/assignment_sink.h"
+#include "util/timer.h"
+
+namespace tpsl {
+
+StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
+                                   EdgeStream& stream,
+                                   const PartitionConfig& config,
+                                   const RunOptions& options) {
+  RunResult result;
+  result.partitioner_name = partitioner.name();
+
+  EdgeListSink sink(config.num_partitions);
+  WallTimer timer;
+  TPSL_RETURN_IF_ERROR(
+      partitioner.Partition(stream, config, sink, &result.stats));
+  result.wall_seconds = timer.ElapsedSeconds();
+
+  result.quality = ComputeQuality(sink.partitions());
+  if (options.validate) {
+    // Always check that every edge was assigned; check the hard cap
+    // only for partitioners that promise it (stateless hashing does
+    // not — the paper reports their measured α instead).
+    const uint64_t expected_edges = stream.NumEdgesHint() != 0
+                                        ? stream.NumEdgesHint()
+                                        : result.quality.num_edges;
+    const uint64_t capacity =
+        partitioner.enforces_balance_cap()
+            ? config.PartitionCapacity(expected_edges)
+            : std::numeric_limits<uint64_t>::max();
+    TPSL_RETURN_IF_ERROR(ValidatePartitioning(sink.partitions(),
+                                              expected_edges, capacity));
+  }
+  if (options.keep_partitions) {
+    result.partitions = sink.TakePartitions();
+  }
+  return result;
+}
+
+}  // namespace tpsl

@@ -1,0 +1,44 @@
+#ifndef TPSL_PARTITION_RUNNER_H_
+#define TPSL_PARTITION_RUNNER_H_
+
+#include <string>
+
+#include "graph/edge_stream.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// One timed, measured partitioning run: what every experiment and
+/// example needs. Wraps Partitioner::Partition with a wall timer, an
+/// EdgeListSink, from-scratch quality metrics and contract validation.
+struct RunResult {
+  std::string partitioner_name;
+  PartitionQuality quality;
+  PartitionStats stats;
+  double wall_seconds = 0.0;
+  /// Per-partition edge lists (moved out of the sink). Empty if
+  /// `keep_partitions` was false.
+  std::vector<std::vector<Edge>> partitions;
+};
+
+struct RunOptions {
+  /// Retain the materialized partitions in the result (needed by the
+  /// processing simulator; costs O(|E|) memory).
+  bool keep_partitions = false;
+  /// Fail the run if the hard balance cap is violated.
+  bool validate = true;
+};
+
+/// Runs `partitioner` on `stream` and returns measurements. The
+/// validation step recomputes all quality metrics from the produced
+/// edge lists, never trusting partitioner-internal state.
+StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
+                                   EdgeStream& stream,
+                                   const PartitionConfig& config,
+                                   const RunOptions& options = {});
+
+}  // namespace tpsl
+
+#endif  // TPSL_PARTITION_RUNNER_H_

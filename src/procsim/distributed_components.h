@@ -1,0 +1,37 @@
+#ifndef TPSL_PROCSIM_DISTRIBUTED_COMPONENTS_H_
+#define TPSL_PROCSIM_DISTRIBUTED_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "procsim/distributed_pagerank.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Distributed Connected Components by iterative min-label propagation
+/// — the second classical workload the paper's introduction names
+/// ("PageRank or Connected Components"). Unlike PageRank's fixed
+/// iteration count, CC runs until no label changes, so the simulated
+/// time additionally depends on the graph diameter.
+struct ComponentsResult {
+  /// Component label per vertex (the minimum vertex id of the
+  /// component). Vertices absent from all partitions keep their own id.
+  std::vector<VertexId> labels;
+  uint32_t iterations = 0;
+  double simulated_seconds = 0.0;
+  uint64_t total_messages = 0;
+};
+
+StatusOr<ComponentsResult> SimulateDistributedComponents(
+    const std::vector<std::vector<Edge>>& partitions,
+    const ClusterModel& cluster);
+
+/// Single-machine reference (union-find), for validating the simulator.
+std::vector<VertexId> ReferenceComponents(const std::vector<Edge>& edges,
+                                          VertexId num_vertices);
+
+}  // namespace tpsl
+
+#endif  // TPSL_PROCSIM_DISTRIBUTED_COMPONENTS_H_

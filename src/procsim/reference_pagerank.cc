@@ -1,0 +1,36 @@
+#include "procsim/reference_pagerank.h"
+
+namespace tpsl {
+
+std::vector<double> ReferencePageRank(const CsrGraph& graph,
+                                      const PageRankConfig& config) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return {};
+  }
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  const double base = (1.0 - config.damping) / n;
+
+  for (uint32_t iter = 0; iter < config.iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      next[v] = 0.0;
+    }
+    for (VertexId u = 0; u < n; ++u) {
+      const uint32_t deg = graph.degree(u);
+      if (deg == 0) {
+        continue;
+      }
+      const double share = rank[u] / deg;
+      for (const VertexId v : graph.neighbors(u)) {
+        next[v] += share;
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      rank[v] = base + config.damping * next[v];
+    }
+  }
+  return rank;
+}
+
+}  // namespace tpsl

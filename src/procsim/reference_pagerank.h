@@ -1,0 +1,27 @@
+#ifndef TPSL_PROCSIM_REFERENCE_PAGERANK_H_
+#define TPSL_PROCSIM_REFERENCE_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace tpsl {
+
+/// Single-machine PageRank on an undirected graph (each edge treated
+/// as two directed edges), used as the correctness oracle for the
+/// distributed processing simulator:
+///   pr'[v] = (1 - damping)/N + damping · Σ_{u ∈ N(v)} pr[u]/deg(u).
+/// Runs a fixed number of power iterations (the paper's workload is
+/// static PageRank with 100 iterations).
+struct PageRankConfig {
+  uint32_t iterations = 100;
+  double damping = 0.85;
+};
+
+std::vector<double> ReferencePageRank(const CsrGraph& graph,
+                                      const PageRankConfig& config);
+
+}  // namespace tpsl
+
+#endif  // TPSL_PROCSIM_REFERENCE_PAGERANK_H_

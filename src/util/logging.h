@@ -1,0 +1,63 @@
+#ifndef TPSL_UTIL_LOGGING_H_
+#define TPSL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tpsl {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity that is emitted to stderr. Defaults to
+/// kInfo. Thread-safe to call concurrently with logging.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+/// Stream-style log message collector. Emits on destruction; aborts the
+/// process for kFatal messages.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tpsl
+
+#define TPSL_LOG(severity)                                             \
+  ::tpsl::internal::LogMessage(::tpsl::LogSeverity::k##severity,       \
+                               __FILE__, __LINE__)
+
+/// Fatal-on-failure invariant check, enabled in all build types.
+#define TPSL_CHECK(condition)                                          \
+  if (!(condition))                                                    \
+  TPSL_LOG(Fatal) << "Check failed: " #condition " "
+
+#define TPSL_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    ::tpsl::Status _tpsl_check_status = (expr);                        \
+    if (!_tpsl_check_status.ok()) {                                    \
+      TPSL_LOG(Fatal) << "Status not OK: "                             \
+                      << _tpsl_check_status.ToString();                \
+    }                                                                  \
+  } while (0)
+
+#define TPSL_DCHECK(condition) TPSL_CHECK(condition)
+
+#endif  // TPSL_UTIL_LOGGING_H_

@@ -1,0 +1,42 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tpsl {
+namespace {
+
+/// Parses a "<Field>:   <kB> kB" line value from /proc/self/status.
+uint64_t ReadProcStatusKb(const char* field) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) {
+    return 0;
+  }
+  char line[256];
+  uint64_t result = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + field_len + 1, "%llu", &kb) == 1) {
+        result = static_cast<uint64_t>(kb) * 1024;
+      }
+      break;
+    }
+  }
+  std::fclose(file);
+  return result;
+}
+
+}  // namespace
+
+uint64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS"); }
+
+uint64_t PeakRssBytes() {
+  const uint64_t peak = ReadProcStatusKb("VmHWM");
+  // Some kernels/containers do not report a high-water mark; fall back
+  // to the current RSS so callers always get a usable lower bound.
+  return peak != 0 ? peak : CurrentRssBytes();
+}
+
+}  // namespace tpsl

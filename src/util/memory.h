@@ -1,0 +1,19 @@
+#ifndef TPSL_UTIL_MEMORY_H_
+#define TPSL_UTIL_MEMORY_H_
+
+#include <cstdint>
+
+namespace tpsl {
+
+/// Current resident set size of this process in bytes, or 0 if the
+/// platform does not expose it (/proc/self/status on Linux).
+uint64_t CurrentRssBytes();
+
+/// Peak resident set size (VmHWM) of this process in bytes, or 0 if
+/// unavailable. Used to report the "memory overhead" columns of the
+/// paper's Fig. 4.
+uint64_t PeakRssBytes();
+
+}  // namespace tpsl
+
+#endif  // TPSL_UTIL_MEMORY_H_

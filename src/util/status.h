@@ -1,0 +1,126 @@
+#ifndef TPSL_UTIL_STATUS_H_
+#define TPSL_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace tpsl {
+
+/// Error categories used across the library. Modeled after the
+/// Arrow/Abseil status idiom: functions that can fail return a Status
+/// (or StatusOr<T>) instead of throwing exceptions across the public
+/// API boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIoError,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying an error code and message. The OK state
+/// carries no message and is trivially copyable in practice.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Union of a Status and a value: either holds a value (and an OK
+/// status) or an error status. Mirrors arrow::Result / absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or an error keeps call sites
+  /// terse: `return 42;` or `return Status::IoError(...)`.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tpsl
+
+/// Propagates a non-OK status to the caller. Usable in any function
+/// returning Status.
+#define TPSL_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::tpsl::Status _tpsl_status = (expr);     \
+    if (!_tpsl_status.ok()) {                 \
+      return _tpsl_status;                    \
+    }                                         \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, otherwise
+/// moving the value into `lhs`.
+#define TPSL_ASSIGN_OR_RETURN(lhs, expr)               \
+  TPSL_ASSIGN_OR_RETURN_IMPL_(                         \
+      TPSL_STATUS_MACRO_CONCAT_(_tpsl_or, __LINE__), lhs, expr)
+
+#define TPSL_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) {                                  \
+    return var.status();                            \
+  }                                                 \
+  lhs = std::move(var).value()
+
+#define TPSL_STATUS_MACRO_CONCAT_INNER_(a, b) a##b
+#define TPSL_STATUS_MACRO_CONCAT_(a, b) TPSL_STATUS_MACRO_CONCAT_INNER_(a, b)
+
+#endif  // TPSL_UTIL_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef TPSL_UTIL_TIMER_H_
+#define TPSL_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tpsl {
+
+/// Monotonic wall-clock stopwatch used for all run-time measurements in
+/// the experiment harness.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed seconds into a double on destruction; used to
+/// attribute run-time to algorithm phases (paper Fig. 5).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_UTIL_TIMER_H_

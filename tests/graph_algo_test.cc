@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/degrees.h"
+#include "graph/in_memory_edge_stream.h"
+#include "graph/types.h"
+
+namespace tpsl {
+namespace {
+
+TEST(DegreesTest, TriangleDegrees) {
+  InMemoryEdgeStream stream({{0, 1}, {1, 2}, {2, 0}});
+  auto table_or = ComputeDegrees(stream);
+  ASSERT_TRUE(table_or.ok());
+  EXPECT_EQ(table_or->num_vertices(), 3u);
+  EXPECT_EQ(table_or->num_edges, 3u);
+  EXPECT_EQ(table_or->degree(0), 2u);
+  EXPECT_EQ(table_or->degree(1), 2u);
+  EXPECT_EQ(table_or->degree(2), 2u);
+  EXPECT_EQ(table_or->TotalVolume(), 6u);
+}
+
+TEST(DegreesTest, SelfLoopCountsTwice) {
+  InMemoryEdgeStream stream({{5, 5}});
+  auto table_or = ComputeDegrees(stream);
+  ASSERT_TRUE(table_or.ok());
+  EXPECT_EQ(table_or->degree(5), 2u);
+  EXPECT_EQ(table_or->num_vertices(), 6u);  // ids 0..5
+}
+
+TEST(DegreesTest, EmptyStream) {
+  InMemoryEdgeStream stream;
+  auto table_or = ComputeDegrees(stream);
+  ASSERT_TRUE(table_or.ok());
+  EXPECT_EQ(table_or->num_vertices(), 0u);
+  EXPECT_EQ(table_or->num_edges, 0u);
+}
+
+TEST(DegreesTest, MultiEdgesAccumulate) {
+  InMemoryEdgeStream stream({{0, 1}, {0, 1}, {1, 0}});
+  auto table_or = ComputeDegrees(stream);
+  ASSERT_TRUE(table_or.ok());
+  EXPECT_EQ(table_or->degree(0), 3u);
+  EXPECT_EQ(table_or->degree(1), 3u);
+}
+
+TEST(CsrTest, NeighborsOfSquareGraph) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const CsrGraph graph = CsrGraph::FromEdges(edges);
+  EXPECT_EQ(graph.num_vertices(), 4u);
+  EXPECT_EQ(graph.num_edges(), 4u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(graph.degree(v), 2u);
+  }
+  const auto n0 = graph.neighbors(0);
+  const std::set<VertexId> neighbors0(n0.begin(), n0.end());
+  EXPECT_EQ(neighbors0, (std::set<VertexId>{1, 3}));
+}
+
+TEST(CsrTest, FromStreamMatchesFromEdges) {
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i < 200; ++i) {
+    edges.push_back(Edge{i % 17, (i * 3) % 23});
+  }
+  const CsrGraph from_edges = CsrGraph::FromEdges(edges);
+  InMemoryEdgeStream stream(edges);
+  auto from_stream_or = CsrGraph::FromStream(stream);
+  ASSERT_TRUE(from_stream_or.ok());
+  const CsrGraph& from_stream = *from_stream_or;
+
+  ASSERT_EQ(from_stream.num_vertices(), from_edges.num_vertices());
+  ASSERT_EQ(from_stream.num_edges(), from_edges.num_edges());
+  for (VertexId v = 0; v < from_edges.num_vertices(); ++v) {
+    const auto a = from_edges.neighbors(v);
+    const auto b = from_stream.neighbors(v);
+    std::vector<VertexId> va(a.begin(), a.end());
+    std::vector<VertexId> vb(b.begin(), b.end());
+    std::sort(va.begin(), va.end());
+    std::sort(vb.begin(), vb.end());
+    EXPECT_EQ(va, vb) << "vertex " << v;
+  }
+}
+
+TEST(CsrTest, SelfLoopAppearsTwiceInAdjacency) {
+  const CsrGraph graph = CsrGraph::FromEdges({{0, 0}});
+  EXPECT_EQ(graph.degree(0), 2u);
+  for (const VertexId v : graph.neighbors(0)) {
+    EXPECT_EQ(v, 0u);
+  }
+}
+
+TEST(CsrTest, HeapBytesIsPositive) {
+  const CsrGraph graph = CsrGraph::FromEdges({{0, 1}, {1, 2}});
+  EXPECT_GT(graph.HeapBytes(), 0u);
+}
+
+TEST(CsrTest, EmptyGraph) {
+  const CsrGraph graph = CsrGraph::FromEdges({});
+  EXPECT_EQ(graph.num_vertices(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace tpsl

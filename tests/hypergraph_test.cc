@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/hypergraph_partitioner.h"
+
+namespace tpsl {
+namespace {
+
+Hypergraph TestHypergraph() {
+  PlantedHypergraphConfig config;
+  config.num_vertices = 1 << 12;
+  config.num_hyperedges = 20000;
+  config.num_communities = 128;
+  config.intra_fraction = 0.9;
+  config.seed = 3;
+  return GeneratePlantedHypergraph(config);
+}
+
+TEST(HypergraphTest, GeneratorBasics) {
+  const Hypergraph hg = TestHypergraph();
+  EXPECT_GT(hg.edges.size(), 19000u);  // few dropped by pin dedup
+  EXPECT_LE(hg.NumVertices(), 1u << 12);
+  EXPECT_GT(hg.NumPins(), 2 * hg.edges.size());
+  for (const Hyperedge& e : hg.edges) {
+    EXPECT_GE(e.pins.size(), 2u);
+    EXPECT_LE(e.pins.size(), 8u);
+    // Pins are distinct.
+    for (size_t i = 0; i < e.pins.size(); ++i) {
+      for (size_t j = i + 1; j < e.pins.size(); ++j) {
+        EXPECT_NE(e.pins[i], e.pins[j]);
+      }
+    }
+  }
+}
+
+TEST(HypergraphTest, GeneratorIsDeterministic) {
+  PlantedHypergraphConfig config;
+  config.num_hyperedges = 500;
+  const Hypergraph a = GeneratePlantedHypergraph(config);
+  const Hypergraph b = GeneratePlantedHypergraph(config);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  EXPECT_EQ(a.edges[17], b.edges[17]);
+}
+
+TEST(HypergraphTest, StarExpansionEmitsPinMinusOneEdges) {
+  Hypergraph hg;
+  hg.edges.push_back(Hyperedge{{0, 1, 2, 3}});
+  hg.edges.push_back(Hyperedge{{7, 9}});
+  StarExpansionStream star(&hg);
+  EXPECT_EQ(star.NumEdgesHint(), 4u);
+  std::vector<Edge> got;
+  ASSERT_TRUE(ForEachEdge(star, [&](const Edge& e) { got.push_back(e); })
+                  .ok());
+  EXPECT_EQ(got, (std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {7, 9}}));
+}
+
+TEST(HypergraphTest, StarExpansionSupportsSmallBatches) {
+  Hypergraph hg;
+  hg.edges.push_back(Hyperedge{{0, 1, 2, 3, 4}});
+  StarExpansionStream star(&hg);
+  ASSERT_TRUE(star.Reset().ok());
+  Edge buffer[2];
+  size_t total = 0, n;
+  while ((n = star.Next(buffer, 2)) > 0) {
+    total += n;
+  }
+  EXPECT_EQ(total, 4u);
+}
+
+struct PartitionerCase {
+  const char* name;
+  StatusOr<std::vector<PartitionId>> (*run)(
+      const Hypergraph&, const HypergraphPartitionConfig&);
+};
+
+StatusOr<std::vector<PartitionId>> RunTwoPhase(
+    const Hypergraph& hg, const HypergraphPartitionConfig& config) {
+  return TwoPhasePartitionHypergraph(hg, config);
+}
+
+class HypergraphContractTest
+    : public testing::TestWithParam<PartitionerCase> {};
+
+TEST_P(HypergraphContractTest, AssignsAllWithinCap) {
+  const Hypergraph hg = TestHypergraph();
+  HypergraphPartitionConfig config;
+  config.num_partitions = 16;
+  auto assignment_or = GetParam().run(hg, config);
+  ASSERT_TRUE(assignment_or.ok());
+  ASSERT_EQ(assignment_or->size(), hg.edges.size());
+
+  std::vector<uint64_t> loads(16, 0);
+  for (const PartitionId p : *assignment_or) {
+    ASSERT_LT(p, 16u);
+    ++loads[p];
+  }
+  const uint64_t capacity = config.PartitionCapacity(hg.edges.size());
+  const bool enforces_cap = std::string(GetParam().name) != "hash";
+  if (enforces_cap) {
+    for (const uint64_t load : loads) {
+      EXPECT_LE(load, capacity);
+    }
+  }
+}
+
+TEST_P(HypergraphContractTest, RejectsZeroPartitions) {
+  const Hypergraph hg = TestHypergraph();
+  HypergraphPartitionConfig config;
+  config.num_partitions = 0;
+  EXPECT_FALSE(GetParam().run(hg, config).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHypergraphPartitioners, HypergraphContractTest,
+    testing::Values(PartitionerCase{"hash", &HashPartitionHypergraph},
+                    PartitionerCase{"minmax", &MinMaxPartitionHypergraph},
+                    PartitionerCase{"twophase", &RunTwoPhase}),
+    [](const testing::TestParamInfo<PartitionerCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(HypergraphQualityTest, TwoPhaseBeatsHashing) {
+  const Hypergraph hg = TestHypergraph();
+  HypergraphPartitionConfig config;
+  config.num_partitions = 16;
+
+  auto hash = HashPartitionHypergraph(hg, config);
+  auto two_phase = TwoPhasePartitionHypergraph(hg, config);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(two_phase.ok());
+
+  const auto hash_quality = ComputeHypergraphQuality(hg, *hash, 16);
+  const auto two_phase_quality =
+      ComputeHypergraphQuality(hg, *two_phase, 16);
+  EXPECT_LT(two_phase_quality.replication_factor,
+            hash_quality.replication_factor);
+}
+
+TEST(HypergraphQualityTest, MinMaxBeatsHashing) {
+  const Hypergraph hg = TestHypergraph();
+  HypergraphPartitionConfig config;
+  config.num_partitions = 16;
+  auto hash = HashPartitionHypergraph(hg, config);
+  auto minmax = MinMaxPartitionHypergraph(hg, config);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(minmax.ok());
+  EXPECT_LT(ComputeHypergraphQuality(hg, *minmax, 16).replication_factor,
+            ComputeHypergraphQuality(hg, *hash, 16).replication_factor);
+}
+
+TEST(HypergraphQualityTest, QualityMetricsOnKnownInstance) {
+  Hypergraph hg;
+  hg.edges.push_back(Hyperedge{{0, 1, 2}});
+  hg.edges.push_back(Hyperedge{{2, 3}});
+  const std::vector<PartitionId> assignment = {0, 1};
+  const auto quality = ComputeHypergraphQuality(hg, assignment, 2);
+  // Covers: {0,1,2} and {2,3} -> 5 pin-replicas over 4 vertices.
+  EXPECT_DOUBLE_EQ(quality.replication_factor, 1.25);
+  EXPECT_EQ(quality.num_hyperedges, 2u);
+  EXPECT_DOUBLE_EQ(quality.measured_alpha, 1.0);
+}
+
+}  // namespace
+}  // namespace tpsl

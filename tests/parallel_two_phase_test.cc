@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parallel_two_phase.h"
+#include "core/two_phase_partitioner.h"
+#include "graph/datasets.h"
+#include "graph/in_memory_edge_stream.h"
+#include "partition/runner.h"
+
+namespace tpsl {
+namespace {
+
+std::vector<Edge> TestGraph() {
+  auto edges = LoadDataset("OK", /*scale_shift=*/3);
+  EXPECT_TRUE(edges.ok());
+  return std::move(edges).value();
+}
+
+TEST(ParallelTwoPhaseTest, SatisfiesContract) {
+  ParallelTwoPhasePartitioner partitioner;
+  const auto edges = TestGraph();
+  InMemoryEdgeStream stream(edges);
+  PartitionConfig config;
+  config.num_partitions = 32;
+  auto result = RunPartitioner(partitioner, stream, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->quality.num_edges, edges.size());
+  EXPECT_GE(result->quality.replication_factor, 1.0);
+}
+
+TEST(ParallelTwoPhaseTest, QualityCloseToSequential) {
+  const auto edges = TestGraph();
+  PartitionConfig config;
+  config.num_partitions = 32;
+
+  TwoPhasePartitioner sequential;
+  InMemoryEdgeStream stream_a(edges);
+  auto serial = RunPartitioner(sequential, stream_a, config);
+  ASSERT_TRUE(serial.ok());
+
+  ParallelTwoPhasePartitioner::Options options;
+  options.num_threads = 8;
+  ParallelTwoPhasePartitioner parallel(options);
+  InMemoryEdgeStream stream_b(edges);
+  auto concurrent = RunPartitioner(parallel, stream_b, config);
+  ASSERT_TRUE(concurrent.ok());
+
+  // Stale replica reads cost a little quality; the paper predicts
+  // "lower partitioning quality" from parallel staleness, but it must
+  // stay in the same class.
+  EXPECT_LT(concurrent->quality.replication_factor,
+            serial->quality.replication_factor * 1.25);
+}
+
+TEST(ParallelTwoPhaseTest, SingleThreadWorks) {
+  ParallelTwoPhasePartitioner::Options options;
+  options.num_threads = 1;
+  ParallelTwoPhasePartitioner partitioner(options);
+  const auto edges = TestGraph();
+  InMemoryEdgeStream stream(edges);
+  PartitionConfig config;
+  config.num_partitions = 8;
+  auto result = RunPartitioner(partitioner, stream, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(ParallelTwoPhaseTest, CoversAllEdgesAcrossThreadCounts) {
+  const auto edges = TestGraph();
+  for (const uint32_t threads : {2u, 4u, 16u}) {
+    ParallelTwoPhasePartitioner::Options options;
+    options.num_threads = threads;
+    options.batch_size = 1024;
+    ParallelTwoPhasePartitioner partitioner(options);
+    InMemoryEdgeStream stream(edges);
+    PartitionConfig config;
+    config.num_partitions = 16;
+    EdgeListSink sink(16);
+    PartitionStats stats;
+    ASSERT_TRUE(partitioner.Partition(stream, config, sink, &stats).ok());
+    EXPECT_EQ(stats.prepartitioned_edges + stats.remaining_edges,
+              edges.size())
+        << threads;
+  }
+}
+
+TEST(ParallelTwoPhaseTest, RejectsBadOptions) {
+  ParallelTwoPhasePartitioner::Options options;
+  options.batch_size = 0;
+  ParallelTwoPhasePartitioner partitioner(options);
+  InMemoryEdgeStream stream({{0, 1}});
+  PartitionConfig config;
+  CountingSink sink(config.num_partitions);
+  EXPECT_FALSE(partitioner.Partition(stream, config, sink, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace tpsl

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/in_memory_edge_stream.h"
+#include "partition/assignment_sink.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "partition/replication_table.h"
+#include "partition/runner.h"
+
+namespace tpsl {
+namespace {
+
+TEST(PartitionConfigTest, CapacityMatchesFormula) {
+  PartitionConfig config;
+  config.num_partitions = 4;
+  config.balance_factor = 1.05;
+  // ceil(1.05 * 100 / 4) = 27 (1.05*25 = 26.25).
+  EXPECT_EQ(config.PartitionCapacity(100), 27u);
+}
+
+TEST(PartitionConfigTest, CapacityNeverBelowPerfectBalance) {
+  PartitionConfig config;
+  config.num_partitions = 3;
+  config.balance_factor = 1.0;
+  // ceil(10/3) = 4; a cap of 3 would be infeasible.
+  EXPECT_EQ(config.PartitionCapacity(10), 4u);
+}
+
+TEST(PartitionConfigTest, CapacityWithKOne) {
+  PartitionConfig config;
+  config.num_partitions = 1;
+  EXPECT_GE(config.PartitionCapacity(50), 50u);
+}
+
+TEST(ReplicationTableTest, SetIsIdempotent) {
+  ReplicationTable table(10, 4);
+  EXPECT_FALSE(table.Test(3, 2));
+  table.Set(3, 2);
+  EXPECT_TRUE(table.Test(3, 2));
+  EXPECT_EQ(table.CoverSize(2), 1u);
+  table.Set(3, 2);
+  EXPECT_EQ(table.CoverSize(2), 1u);
+  EXPECT_EQ(table.ReplicaCount(3), 1u);
+}
+
+TEST(ReplicationTableTest, CoverAndReplicaBookkeeping) {
+  ReplicationTable table(5, 3);
+  table.Set(0, 0);
+  table.Set(0, 1);
+  table.Set(0, 2);
+  table.Set(1, 1);
+  EXPECT_EQ(table.ReplicaCount(0), 3u);
+  EXPECT_EQ(table.ReplicaCount(1), 1u);
+  EXPECT_EQ(table.CoverSize(0), 1u);
+  EXPECT_EQ(table.CoverSize(1), 2u);
+  EXPECT_EQ(table.CoveredVertices(), 2u);
+  // RF = (3 + 1) / 2 covered vertices.
+  EXPECT_DOUBLE_EQ(table.ReplicationFactor(), 2.0);
+}
+
+TEST(ReplicationTableTest, EmptyTableHasZeroRf) {
+  ReplicationTable table(10, 4);
+  EXPECT_DOUBLE_EQ(table.ReplicationFactor(), 0.0);
+  EXPECT_EQ(table.CoveredVertices(), 0u);
+}
+
+TEST(ReplicationTableTest, LargeIndicesDoNotAlias) {
+  // Bit-matrix indexing across word boundaries.
+  ReplicationTable table(1000, 37);
+  table.Set(999, 36);
+  table.Set(998, 0);
+  EXPECT_TRUE(table.Test(999, 36));
+  EXPECT_TRUE(table.Test(998, 0));
+  EXPECT_FALSE(table.Test(999, 35));
+  EXPECT_FALSE(table.Test(998, 36));
+}
+
+TEST(SinkTest, CountingSinkCounts) {
+  CountingSink sink(3);
+  sink.Assign(Edge{0, 1}, 0);
+  sink.Assign(Edge{1, 2}, 0);
+  sink.Assign(Edge{2, 3}, 2);
+  EXPECT_EQ(sink.loads(), (std::vector<uint64_t>{2, 0, 1}));
+  EXPECT_EQ(sink.total(), 3u);
+}
+
+TEST(SinkTest, EdgeListSinkMaterializes) {
+  EdgeListSink sink(2);
+  sink.Assign(Edge{0, 1}, 1);
+  sink.Assign(Edge{1, 2}, 0);
+  EXPECT_EQ(sink.partitions()[0], (std::vector<Edge>{{1, 2}}));
+  EXPECT_EQ(sink.partitions()[1], (std::vector<Edge>{{0, 1}}));
+  auto taken = sink.TakePartitions();
+  EXPECT_EQ(taken.size(), 2u);
+}
+
+TEST(SinkTest, TeeSinkForwardsToBoth) {
+  CountingSink a(2), b(2);
+  TeeSink tee(&a, &b);
+  tee.Assign(Edge{0, 1}, 1);
+  EXPECT_EQ(a.loads()[1], 1u);
+  EXPECT_EQ(b.loads()[1], 1u);
+}
+
+TEST(MetricsTest, QualityOfKnownPartitioning) {
+  // Partition 0: triangle {0,1,2}; partition 1: edge {2,3}.
+  // Covers: |{0,1,2}| + |{2,3}| = 5; covered vertices = 4 -> RF 1.25.
+  std::vector<std::vector<Edge>> parts = {
+      {{0, 1}, {1, 2}, {2, 0}},
+      {{2, 3}},
+  };
+  const PartitionQuality quality = ComputeQuality(parts);
+  EXPECT_DOUBLE_EQ(quality.replication_factor, 1.25);
+  EXPECT_EQ(quality.num_edges, 4u);
+  EXPECT_EQ(quality.num_covered_vertices, 4u);
+  EXPECT_EQ(quality.max_partition_size, 3u);
+  EXPECT_EQ(quality.min_partition_size, 1u);
+  // alpha = 3 / (4/2) = 1.5.
+  EXPECT_DOUBLE_EQ(quality.measured_alpha, 1.5);
+}
+
+TEST(MetricsTest, EmptyPartitioning) {
+  const PartitionQuality quality = ComputeQuality({{}, {}});
+  EXPECT_DOUBLE_EQ(quality.replication_factor, 0.0);
+  EXPECT_EQ(quality.num_edges, 0u);
+}
+
+TEST(MetricsTest, ValidateDetectsCapacityViolation) {
+  std::vector<std::vector<Edge>> parts = {{{0, 1}, {1, 2}}, {}};
+  EXPECT_TRUE(ValidatePartitioning(parts, 2, 2).ok());
+  const Status status = ValidatePartitioning(parts, 2, 1);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MetricsTest, ValidateDetectsLostEdges) {
+  std::vector<std::vector<Edge>> parts = {{{0, 1}}, {}};
+  const Status status = ValidatePartitioning(parts, 2, 10);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+/// A deliberately broken partitioner that drops every edge; the runner
+/// must flag it.
+class DroppingPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "Dropper"; }
+  Status Partition(EdgeStream& stream, const PartitionConfig&,
+                   AssignmentSink&, PartitionStats*) override {
+    return ForEachEdge(stream, [](const Edge&) {});
+  }
+};
+
+TEST(RunnerTest, CatchesEdgeLoss) {
+  InMemoryEdgeStream stream({{0, 1}, {1, 2}});
+  DroppingPartitioner partitioner;
+  PartitionConfig config;
+  config.num_partitions = 2;
+  auto result = RunPartitioner(partitioner, stream, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+/// Overloads one partition; the runner must flag the cap violation.
+class OverloadingPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "Overloader"; }
+  Status Partition(EdgeStream& stream, const PartitionConfig&,
+                   AssignmentSink& sink, PartitionStats*) override {
+    return ForEachEdge(stream,
+                       [&sink](const Edge& e) { sink.Assign(e, 0); });
+  }
+};
+
+TEST(RunnerTest, CatchesCapViolation) {
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i < 100; ++i) {
+    edges.push_back(Edge{i, i + 1});
+  }
+  InMemoryEdgeStream stream(edges);
+  OverloadingPartitioner partitioner;
+  PartitionConfig config;
+  config.num_partitions = 4;
+  auto result = RunPartitioner(partitioner, stream, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace tpsl

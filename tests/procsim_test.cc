@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/hash.h"
+#include "core/two_phase_partitioner.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/in_memory_edge_stream.h"
+#include "partition/runner.h"
+#include "procsim/distributed_pagerank.h"
+#include "procsim/reference_pagerank.h"
+
+namespace tpsl {
+namespace {
+
+std::vector<Edge> TestGraph() {
+  PlantedPartitionConfig config;
+  config.num_vertices = 1024;
+  config.num_edges = 8000;
+  config.num_communities = 16;
+  return GeneratePlantedPartition(config);
+}
+
+std::vector<std::vector<Edge>> PartitionWith(Partitioner& partitioner,
+                                             const std::vector<Edge>& edges,
+                                             uint32_t k) {
+  InMemoryEdgeStream stream(edges);
+  PartitionConfig config;
+  config.num_partitions = k;
+  RunOptions options;
+  options.keep_partitions = true;
+  auto result = RunPartitioner(partitioner, stream, config, options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result)->partitions;
+}
+
+TEST(ReferencePageRankTest, RanksSumToOne) {
+  const auto edges = TestGraph();
+  const CsrGraph graph = CsrGraph::FromEdges(edges);
+  PageRankConfig config;
+  config.iterations = 30;
+  const std::vector<double> ranks = ReferencePageRank(graph, config);
+  double sum = 0;
+  for (const double r : ranks) {
+    sum += r;
+  }
+  // Undirected graphs have no dangling mass loss.
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(ReferencePageRankTest, StarCenterRanksHighest) {
+  // Star graph: center 0 connected to 1..9.
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < 10; ++v) {
+    edges.push_back(Edge{0, v});
+  }
+  const CsrGraph graph = CsrGraph::FromEdges(edges);
+  const std::vector<double> ranks = ReferencePageRank(graph, {});
+  for (VertexId v = 1; v < 10; ++v) {
+    EXPECT_GT(ranks[0], ranks[v]);
+  }
+}
+
+TEST(ReferencePageRankTest, EmptyGraph) {
+  const CsrGraph graph = CsrGraph::FromEdges({});
+  EXPECT_TRUE(ReferencePageRank(graph, {}).empty());
+}
+
+TEST(DistributedPageRankTest, MatchesReferenceValues) {
+  const auto edges = TestGraph();
+  TwoPhasePartitioner partitioner;
+  const auto partitions = PartitionWith(partitioner, edges, 8);
+
+  PageRankConfig pr;
+  pr.iterations = 25;
+  auto result = SimulateDistributedPageRank(partitions, pr, {});
+  ASSERT_TRUE(result.ok());
+
+  const CsrGraph graph = CsrGraph::FromEdges(edges);
+  const std::vector<double> reference = ReferencePageRank(graph, pr);
+  ASSERT_EQ(result->ranks.size(), reference.size());
+  for (size_t v = 0; v < reference.size(); ++v) {
+    EXPECT_NEAR(result->ranks[v], reference[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(DistributedPageRankTest, HigherReplicationCostsMoreTime) {
+  const auto edges = TestGraph();
+  TwoPhasePartitioner good;
+  HashPartitioner bad;
+  const auto good_parts = PartitionWith(good, edges, 16);
+  const auto bad_parts = PartitionWith(bad, edges, 16);
+
+  PageRankConfig pr;
+  pr.iterations = 10;
+  auto good_result = SimulateDistributedPageRank(good_parts, pr, {});
+  auto bad_result = SimulateDistributedPageRank(bad_parts, pr, {});
+  ASSERT_TRUE(good_result.ok());
+  ASSERT_TRUE(bad_result.ok());
+
+  EXPECT_LT(good_result->total_replicas, bad_result->total_replicas);
+  EXPECT_LT(good_result->total_messages, bad_result->total_messages);
+  EXPECT_LT(good_result->simulated_seconds, bad_result->simulated_seconds);
+}
+
+TEST(DistributedPageRankTest, MessageCountMatchesMirrors) {
+  // Two partitions sharing exactly one vertex (1): one mirror.
+  std::vector<std::vector<Edge>> partitions = {
+      {{0, 1}},
+      {{1, 2}},
+  };
+  PageRankConfig pr;
+  pr.iterations = 5;
+  auto result = SimulateDistributedPageRank(partitions, pr, {});
+  ASSERT_TRUE(result.ok());
+  // 1 mirror -> 2 messages per iteration * 5 iterations.
+  EXPECT_EQ(result->total_messages, 10u);
+  EXPECT_EQ(result->total_replicas, 4u);  // v0:1, v1:2, v2:1
+}
+
+TEST(DistributedPageRankTest, InvalidInputsRejected) {
+  EXPECT_FALSE(SimulateDistributedPageRank({}, {}, {}).ok());
+  EXPECT_FALSE(SimulateDistributedPageRank({{}, {}}, {}, {}).ok());
+  ClusterModel broken;
+  broken.num_workers = 0;
+  EXPECT_FALSE(
+      SimulateDistributedPageRank({{{0, 1}}}, {}, broken).ok());
+}
+
+TEST(DistributedPageRankTest, MoreWorkersReduceComputeTime) {
+  const auto edges = TestGraph();
+  TwoPhasePartitioner partitioner;
+  const auto partitions = PartitionWith(partitioner, edges, 32);
+  PageRankConfig pr;
+  pr.iterations = 10;
+
+  ClusterModel small;
+  small.num_workers = 2;
+  small.per_iteration_ms = 0.0;  // isolate compute + network scaling
+  ClusterModel large = small;
+  large.num_workers = 32;
+
+  auto slow = SimulateDistributedPageRank(partitions, pr, small);
+  auto fast = SimulateDistributedPageRank(partitions, pr, large);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_LT(fast->simulated_seconds, slow->simulated_seconds);
+}
+
+}  // namespace
+}  // namespace tpsl

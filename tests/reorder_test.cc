@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+
+namespace tpsl {
+namespace {
+
+bool IsPermutation(const std::vector<VertexId>& ids) {
+  std::vector<VertexId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ReorderTest, BfsOrderIsPermutation) {
+  SocialNetworkConfig config;
+  config.num_vertices = 1 << 10;
+  const auto edges = GenerateSocialNetwork(config);
+  const CsrGraph graph = CsrGraph::FromEdges(edges);
+  EXPECT_TRUE(IsPermutation(BfsOrder(graph)));
+}
+
+TEST(ReorderTest, BfsOrderGivesNeighborsNearbyIds) {
+  // Path graph: BFS from 0 must produce identity (already optimal).
+  std::vector<Edge> path;
+  for (VertexId v = 0; v + 1 < 50; ++v) {
+    path.push_back(Edge{v, v + 1});
+  }
+  const CsrGraph graph = CsrGraph::FromEdges(path);
+  const std::vector<VertexId> order = BfsOrder(graph);
+  for (VertexId v = 0; v < 50; ++v) {
+    EXPECT_EQ(order[v], v);
+  }
+}
+
+TEST(ReorderTest, BfsCoversDisconnectedComponents) {
+  const CsrGraph graph = CsrGraph::FromEdges({{0, 1}, {5, 6}});
+  EXPECT_TRUE(IsPermutation(BfsOrder(graph)));
+}
+
+TEST(ReorderTest, DegreeOrderPutsHubsFirst) {
+  // Star with hub 9.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 9; ++v) {
+    edges.push_back(Edge{9, v});
+  }
+  const CsrGraph graph = CsrGraph::FromEdges(edges);
+  const std::vector<VertexId> order = DegreeOrder(graph);
+  EXPECT_TRUE(IsPermutation(order));
+  EXPECT_EQ(order[9], 0u);  // hub gets id 0
+}
+
+TEST(ReorderTest, RandomOrderIsSeededPermutation) {
+  const auto a = RandomOrder(1000, 7);
+  const auto b = RandomOrder(1000, 7);
+  const auto c = RandomOrder(1000, 8);
+  EXPECT_TRUE(IsPermutation(a));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ReorderTest, RelabelPreservesStructure) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  const std::vector<VertexId> permutation = {2, 0, 1};
+  ASSERT_TRUE(RelabelEdges(permutation, &edges).ok());
+  EXPECT_EQ(edges, (std::vector<Edge>{{2, 0}, {0, 1}, {1, 2}}));
+  // Degree multiset is invariant under relabeling.
+  const CsrGraph graph = CsrGraph::FromEdges(edges);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(graph.degree(v), 2u);
+  }
+}
+
+TEST(ReorderTest, RelabelRejectsOutOfRange) {
+  std::vector<Edge> edges = {{0, 5}};
+  const std::vector<VertexId> permutation = {0, 1};
+  EXPECT_FALSE(RelabelEdges(permutation, &edges).ok());
+}
+
+}  // namespace
+}  // namespace tpsl

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/in_memory_edge_stream.h"
+#include "io/throttled_edge_stream.h"
+
+namespace tpsl {
+namespace {
+
+std::vector<Edge> SomeEdges(size_t n) {
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i < n; ++i) {
+    edges.push_back(Edge{i, i + 1});
+  }
+  return edges;
+}
+
+TEST(ThrottledEdgeStreamTest, DeliversIdenticalEdges) {
+  InMemoryEdgeStream inner(SomeEdges(100));
+  ThrottledEdgeStream throttled(&inner, kHddProfile);
+  std::vector<Edge> got;
+  ASSERT_TRUE(
+      ForEachEdge(throttled, [&](const Edge& e) { got.push_back(e); }).ok());
+  EXPECT_EQ(got, SomeEdges(100));
+}
+
+TEST(ThrottledEdgeStreamTest, AccountsBytesAcrossPasses) {
+  InMemoryEdgeStream inner(SomeEdges(1000));
+  ThrottledEdgeStream throttled(&inner, kSsdProfile);
+  for (int pass = 0; pass < 3; ++pass) {
+    ASSERT_TRUE(ForEachEdge(throttled, [](const Edge&) {}).ok());
+  }
+  EXPECT_EQ(throttled.bytes_read(), 3 * 1000 * sizeof(Edge));
+  EXPECT_EQ(throttled.passes(), 3u);
+}
+
+TEST(ThrottledEdgeStreamTest, SimulatedIoTimeMatchesBandwidth) {
+  InMemoryEdgeStream inner(SomeEdges(1000));
+  ThrottledEdgeStream throttled(&inner, StorageProfile{"Test", 8000});
+  ASSERT_TRUE(ForEachEdge(throttled, [](const Edge&) {}).ok());
+  // 8000 bytes at 8000 B/s = 1 second.
+  EXPECT_DOUBLE_EQ(throttled.SimulatedIoSeconds(), 1.0);
+}
+
+TEST(ThrottledEdgeStreamTest, PageCacheProfileIsFree) {
+  InMemoryEdgeStream inner(SomeEdges(1000));
+  ThrottledEdgeStream throttled(&inner, kPageCacheProfile);
+  ASSERT_TRUE(ForEachEdge(throttled, [](const Edge&) {}).ok());
+  EXPECT_DOUBLE_EQ(throttled.SimulatedIoSeconds(), 0.0);
+}
+
+TEST(ThrottledEdgeStreamTest, HddSlowerThanSsd) {
+  InMemoryEdgeStream inner_a(SomeEdges(5000));
+  InMemoryEdgeStream inner_b(SomeEdges(5000));
+  ThrottledEdgeStream ssd(&inner_a, kSsdProfile);
+  ThrottledEdgeStream hdd(&inner_b, kHddProfile);
+  ASSERT_TRUE(ForEachEdge(ssd, [](const Edge&) {}).ok());
+  ASSERT_TRUE(ForEachEdge(hdd, [](const Edge&) {}).ok());
+  EXPECT_GT(hdd.SimulatedIoSeconds(), ssd.SimulatedIoSeconds());
+}
+
+TEST(ThrottledEdgeStreamTest, ForwardsHint) {
+  InMemoryEdgeStream inner(SomeEdges(42));
+  ThrottledEdgeStream throttled(&inner, kSsdProfile);
+  EXPECT_EQ(throttled.NumEdgesHint(), 42u);
+}
+
+}  // namespace
+}  // namespace tpsl

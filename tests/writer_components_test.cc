@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/two_phase_partitioner.h"
+#include "graph/binary_edge_list.h"
+#include "graph/generators.h"
+#include "graph/in_memory_edge_stream.h"
+#include "partition/partitioned_writer.h"
+#include "partition/runner.h"
+#include "procsim/distributed_components.h"
+
+namespace tpsl {
+namespace {
+
+TEST(PartitionedWriterTest, WritesPerPartitionFilesAndManifest) {
+  const std::string prefix = testing::TempDir() + "/writer_test";
+  PartitionedWriter writer(prefix, 3);
+  ASSERT_TRUE(writer.status().ok());
+  writer.Assign(Edge{0, 1}, 0);
+  writer.Assign(Edge{1, 2}, 0);
+  writer.Assign(Edge{2, 3}, 2);
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.edge_counts(), (std::vector<uint64_t>{2, 0, 1}));
+
+  auto part0 = ReadBinaryEdgeList(writer.PartitionPath(0));
+  ASSERT_TRUE(part0.ok());
+  EXPECT_EQ(*part0, (std::vector<Edge>{{0, 1}, {1, 2}}));
+  auto part1 = ReadBinaryEdgeList(writer.PartitionPath(1));
+  ASSERT_TRUE(part1.ok());
+  EXPECT_TRUE(part1->empty());
+
+  // Manifest exists and mentions the counts.
+  std::FILE* manifest = std::fopen((prefix + ".manifest").c_str(), "r");
+  ASSERT_NE(manifest, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), manifest), nullptr);
+  EXPECT_STREQ(line, "partitions 3\n");
+  std::fclose(manifest);
+
+  for (PartitionId p = 0; p < 3; ++p) {
+    std::remove(writer.PartitionPath(p).c_str());
+  }
+  std::remove((prefix + ".manifest").c_str());
+}
+
+TEST(PartitionedWriterTest, FinishTwiceFails) {
+  const std::string prefix = testing::TempDir() + "/writer_twice";
+  PartitionedWriter writer(prefix, 1);
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_FALSE(writer.Finish().ok());
+  std::remove(writer.PartitionPath(0).c_str());
+  std::remove((prefix + ".manifest").c_str());
+}
+
+TEST(PartitionedWriterTest, EndToEndWithPartitioner) {
+  RmatConfig rmat;
+  rmat.scale = 10;
+  const auto edges = GenerateRmat(rmat);
+  InMemoryEdgeStream stream(edges);
+  const std::string prefix = testing::TempDir() + "/writer_e2e";
+
+  PartitionedWriter writer(prefix, 4);
+  ASSERT_TRUE(writer.status().ok());
+  TwoPhasePartitioner partitioner;
+  PartitionConfig config;
+  config.num_partitions = 4;
+  ASSERT_TRUE(partitioner.Partition(stream, config, writer, nullptr).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  uint64_t total = 0;
+  for (PartitionId p = 0; p < 4; ++p) {
+    auto part = ReadBinaryEdgeList(writer.PartitionPath(p));
+    ASSERT_TRUE(part.ok());
+    total += part->size();
+    std::remove(writer.PartitionPath(p).c_str());
+  }
+  EXPECT_EQ(total, edges.size());
+  std::remove((prefix + ".manifest").c_str());
+}
+
+TEST(DistributedComponentsTest, MatchesUnionFindReference) {
+  PlantedPartitionConfig pp;
+  pp.num_vertices = 2048;
+  pp.num_edges = 6000;
+  pp.num_communities = 64;
+  pp.intra_fraction = 1.0;  // likely several real components
+  const auto edges = GeneratePlantedPartition(pp);
+
+  TwoPhasePartitioner partitioner;
+  InMemoryEdgeStream stream(edges);
+  PartitionConfig config;
+  config.num_partitions = 8;
+  RunOptions options;
+  options.keep_partitions = true;
+  auto run = RunPartitioner(partitioner, stream, config, options);
+  ASSERT_TRUE(run.ok());
+
+  auto sim = SimulateDistributedComponents(run->partitions, {});
+  ASSERT_TRUE(sim.ok());
+  VertexId n = 0;
+  for (const Edge& e : edges) {
+    n = std::max({n, e.first, e.second});
+  }
+  const auto reference = ReferenceComponents(edges, n + 1);
+  ASSERT_EQ(sim->labels.size(), reference.size());
+  EXPECT_EQ(sim->labels, reference);
+  EXPECT_GT(sim->iterations, 0u);
+  EXPECT_GT(sim->simulated_seconds, 0.0);
+}
+
+TEST(DistributedComponentsTest, SingleChainTakesManyIterations) {
+  // A path graph stresses propagation depth.
+  std::vector<Edge> chain;
+  for (VertexId v = 0; v + 1 < 64; ++v) {
+    chain.push_back(Edge{v + 1, v});  // reversed to slow min-propagation
+  }
+  std::vector<std::vector<Edge>> partitions = {chain};
+  auto sim = SimulateDistributedComponents(partitions, {});
+  ASSERT_TRUE(sim.ok());
+  for (const VertexId label : sim->labels) {
+    EXPECT_EQ(label, 0u);
+  }
+}
+
+TEST(DistributedComponentsTest, InvalidInputs) {
+  EXPECT_FALSE(SimulateDistributedComponents({}, {}).ok());
+  EXPECT_FALSE(SimulateDistributedComponents({{}, {}}, {}).ok());
+}
+
+}  // namespace
+}  // namespace tpsl
