@@ -87,11 +87,15 @@ int main(int argc, char** argv) {
     tpsl::SocialNetworkConfig config;
     config.num_vertices = 1 << 14;
     config.seed = options.seed;
-    options.input = "/tmp/tpsl_cli_demo.bin";
-    if (!tpsl::WriteBinaryEdgeList(options.input,
-                                   tpsl::GenerateSocialNetwork(config))
-             .ok()) {
-      std::fprintf(stderr, "cannot stage demo graph\n");
+    // Derive from the output prefix rather than a fixed /tmp name, so runs
+    // with distinct prefixes (e.g. parallel ctest) don't truncate each
+    // other's staged file. Bare runs share the default prefix and outputs.
+    options.input = options.output_prefix + ".demo.bin";
+    const tpsl::Status staged = tpsl::WriteBinaryEdgeList(
+        options.input, tpsl::GenerateSocialNetwork(config));
+    if (!staged.ok()) {
+      std::fprintf(stderr, "cannot stage demo graph: %s\n",
+                   staged.ToString().c_str());
       return 1;
     }
   }
@@ -105,8 +109,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     const std::string staged = options.output_prefix + ".staged.bin";
-    if (!tpsl::WriteBinaryEdgeList(staged, *edges).ok()) {
-      std::fprintf(stderr, "cannot stage %s\n", staged.c_str());
+    const tpsl::Status stage_status = tpsl::WriteBinaryEdgeList(staged, *edges);
+    if (!stage_status.ok()) {
+      std::fprintf(stderr, "cannot stage %s: %s\n", staged.c_str(),
+                   stage_status.ToString().c_str());
       return 1;
     }
     options.input = staged;
@@ -146,8 +152,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  if (!writer.Finish().ok()) {
-    std::fprintf(stderr, "write-back failed\n");
+  const tpsl::Status finish_status = writer.Finish();
+  if (!finish_status.ok()) {
+    std::fprintf(stderr, "write-back failed: %s\n",
+                 finish_status.ToString().c_str());
     return 1;
   }
 

@@ -14,11 +14,24 @@ Status WriteBinaryEdgeList(const std::string& path,
     return Status::IoError("cannot open for writing: " + path + ": " +
                            std::strerror(errno));
   }
+  // An empty vector's data() may be null, and fwrite's first argument is
+  // declared nonnull — skip the call rather than hand it a null pointer.
   const size_t written =
-      std::fwrite(edges.data(), sizeof(Edge), edges.size(), file);
+      edges.empty() ? 0
+                    : std::fwrite(edges.data(), sizeof(Edge), edges.size(),
+                                  file);
+  // Capture errno before fclose, which may overwrite it even on success.
+  const int write_errno = errno;
   const int close_rc = std::fclose(file);
-  if (written != edges.size() || close_rc != 0) {
-    return Status::IoError("short write to " + path);
+  if (written != edges.size()) {
+    return Status::IoError("short write to " + path + ": " +
+                           std::strerror(write_errno));
+  }
+  if (close_rc != 0) {
+    // The final flush inside fclose can fail (e.g. ENOSPC) even when every
+    // fwrite succeeded.
+    return Status::IoError("close failed for " + path + ": " +
+                           std::strerror(errno));
   }
   return Status::OK();
 }

@@ -84,9 +84,15 @@ INSTANTIATE_TEST_SUITE_P(
                      testing::Values(0.1, 0.25, 1.0),
                      testing::Values(2u, 16u, 128u)),
     [](const testing::TestParamInfo<ClusteringParam>& info) {
-      return "p" + std::to_string(std::get<0>(info.param)) + "_cap" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
-             "_k" + std::to_string(std::get<2>(info.param));
+      // Built with += (not operator+) to dodge GCC 12's bogus -Wrestrict
+      // diagnostic on `const char* + std::string&&` (GCC PR 105329).
+      std::string name = "p";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_cap";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+      name += "_k";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
     });
 
 using PipelineParam = std::tuple<uint32_t, double>;
@@ -120,8 +126,12 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::Values(2u, 3u, 17u, 64u, 256u),
                      testing::Values(1.0, 1.05, 1.5)),
     [](const testing::TestParamInfo<PipelineParam>& info) {
-      return "k" + std::to_string(std::get<0>(info.param)) + "_a" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+      // += instead of operator+ — see the note on the sweep above.
+      std::string name = "k";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_a";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+      return name;
     });
 
 class HypergraphSweepTest : public testing::TestWithParam<uint32_t> {};
@@ -152,7 +162,10 @@ TEST_P(HypergraphSweepTest, TwoPhaseContractAcrossK) {
 INSTANTIATE_TEST_SUITE_P(K, HypergraphSweepTest,
                          testing::Values(2u, 5u, 16u, 64u, 128u),
                          [](const testing::TestParamInfo<uint32_t>& info) {
-                           return "k" + std::to_string(info.param);
+                           // += instead of operator+ — see the first sweep.
+                           std::string name = "k";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 }  // namespace
