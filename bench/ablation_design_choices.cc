@@ -7,8 +7,9 @@
 // Run on one social (OK) and one web (UK) graph at k = 32.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 #include "core/two_phase_partitioner.h"
+#include "graph/in_memory_edge_stream.h"
 
 namespace {
 
@@ -37,8 +38,8 @@ void Report(const char* label, const tpsl::StatusOr<tpsl::RunResult>& r,
 }  // namespace
 
 int main() {
-  const int shift = tpsl::bench::ScaleShift(2);
-  tpsl::bench::PrintHeader("Ablation: 2PS-L design choices at k=32");
+  const int shift = tpsl::benchkit::ScaleShift(2);
+  tpsl::benchkit::PrintHeader("Ablation: 2PS-L design choices at k=32");
 
   for (const char* dataset : {"OK", "UK"}) {
     auto edges_or = tpsl::LoadDataset(dataset, shift);

@@ -6,13 +6,13 @@
 // on quality, and its run-time stays flat in k while min-max's grows.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/hypergraph_partitioner.h"
 #include "util/timer.h"
 
 int main() {
-  const int shift = tpsl::bench::ScaleShift(0);
+  const int shift = tpsl::benchkit::ScaleShift(0);
 
   tpsl::PlantedHypergraphConfig graph_config;
   graph_config.num_vertices = tpsl::VertexId{1} << (16 - shift);
@@ -22,7 +22,7 @@ int main() {
   const tpsl::Hypergraph hypergraph =
       tpsl::GeneratePlantedHypergraph(graph_config);
 
-  tpsl::bench::PrintHeader("Extension: 2PS-H hypergraph partitioning");
+  tpsl::benchkit::PrintHeader("Extension: 2PS-H hypergraph partitioning");
   std::printf("hypergraph: %zu hyperedges, %llu pins, %u vertices\n\n",
               hypergraph.edges.size(),
               static_cast<unsigned long long>(hypergraph.NumPins()),

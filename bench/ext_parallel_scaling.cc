@@ -9,9 +9,10 @@
 //    ("staleness ... can lead to lower partitioning quality").
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 #include "core/parallel_two_phase.h"
 #include "core/two_phase_partitioner.h"
+#include "graph/in_memory_edge_stream.h"
 
 namespace {
 
@@ -38,7 +39,7 @@ tpsl::StatusOr<Point> Run(tpsl::Partitioner& partitioner,
 }  // namespace
 
 int main() {
-  const int shift = tpsl::bench::ScaleShift(0);
+  const int shift = tpsl::benchkit::ScaleShift(0);
   auto edges_or = tpsl::LoadDataset("OK", shift);
   if (!edges_or.ok()) {
     std::fprintf(stderr, "%s\n", edges_or.status().ToString().c_str());
@@ -46,7 +47,7 @@ int main() {
   }
   const uint32_t k = 256;  // the expensive-scoring regime
 
-  tpsl::bench::PrintHeader("Extension: parallel scaling (OK, k=256)");
+  tpsl::benchkit::PrintHeader("Extension: parallel scaling (OK, k=256)");
   std::printf("%zu edges\n\n", edges_or->size());
   std::printf("%-22s %10s %12s %12s\n", "configuration", "rf", "phase2(s)",
               "speedup");

@@ -6,17 +6,17 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 
 int main() {
-  const int shift = tpsl::bench::ScaleShift(2);
+  const int shift = tpsl::benchkit::ScaleShift(2);
   auto edges_or = tpsl::LoadDataset("OK", shift);
   if (!edges_or.ok()) {
     std::fprintf(stderr, "%s\n", edges_or.status().ToString().c_str());
     return 1;
   }
 
-  tpsl::bench::PrintHeader("Extension: stream-order sensitivity (OK, k=32)");
+  tpsl::benchkit::PrintHeader("Extension: stream-order sensitivity (OK, k=32)");
   std::printf("%-10s %14s %14s %14s\n", "method", "shuffled", "sorted",
               "reversed");
 
@@ -31,7 +31,7 @@ int main() {
     const std::vector<tpsl::Edge>* orders[3] = {&shuffled, &sorted,
                                                 &reversed};
     for (int i = 0; i < 3; ++i) {
-      auto m = tpsl::bench::MeasureOnEdges(name, "OK", *orders[i], 32);
+      auto m = tpsl::benchkit::MeasureOnEdges(name, "OK", *orders[i], 32);
       if (!m.ok()) {
         std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
         return 1;

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "baselines/fennel.h"
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 #include "core/two_phase_partitioner.h"
 #include "graph/csr.h"
 #include "graph/generators.h"
@@ -52,9 +52,9 @@ tpsl::StatusOr<Row> Compare(const std::vector<tpsl::Edge>& edges,
 }  // namespace
 
 int main() {
-  const int shift = tpsl::bench::ScaleShift(1);
+  const int shift = tpsl::benchkit::ScaleShift(1);
 
-  tpsl::bench::PrintHeader(
+  tpsl::benchkit::PrintHeader(
       "Extension: vertex partitioning (FENNEL) vs edge partitioning "
       "(2PS-L)");
   std::printf("%-22s %6s %18s %20s\n", "graph", "k", "cut-edges/|E|",

@@ -4,14 +4,14 @@
 // with k while 2PS-L and DBH stay flat; 2PS-L has the best RF.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 
 int main() {
-  using tpsl::bench::Measure;
-  const int shift = tpsl::bench::ScaleShift(1);
+  using tpsl::benchkit::Measure;
+  const int shift = tpsl::benchkit::ScaleShift(1);
 
-  tpsl::bench::PrintHeader("Fig. 2: motivation on OK graph");
-  tpsl::bench::PrintRowHeader();
+  tpsl::benchkit::PrintHeader("Fig. 2: motivation on OK graph");
+  tpsl::benchkit::PrintRowHeader();
   for (const uint32_t k : {4u, 32u, 128u, 256u}) {
     for (const char* name : {"2PS-L", "HDRF", "DBH"}) {
       auto m = Measure(name, "OK", k, shift);
@@ -20,7 +20,7 @@ int main() {
                      m.status().ToString().c_str());
         return 1;
       }
-      tpsl::bench::PrintRow(*m);
+      tpsl::benchkit::PrintRow(*m);
     }
   }
   std::printf(

@@ -11,7 +11,8 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "baselines/registry.h"
+#include "benchkit/measure.h"
 
 namespace {
 
@@ -32,11 +33,11 @@ bool RunsOn(const std::string& partitioner, const std::string& dataset) {
 }  // namespace
 
 int main() {
-  using tpsl::bench::Measure;
-  const int shift = tpsl::bench::ScaleShift(2);
+  using tpsl::benchkit::Measure;
+  const int shift = tpsl::benchkit::ScaleShift(2);
 
-  tpsl::bench::PrintHeader("Fig. 4: main comparison (all graphs)");
-  tpsl::bench::PrintRowHeader();
+  tpsl::benchkit::PrintHeader("Fig. 4: main comparison (all graphs)");
+  tpsl::benchkit::PrintRowHeader();
   for (const tpsl::DatasetSpec& spec : tpsl::AllDatasets()) {
     for (const uint32_t k : {4u, 32u, 128u, 256u}) {
       for (const std::string& name : tpsl::Fig4PartitionerNames()) {
@@ -49,7 +50,7 @@ int main() {
                        spec.name.c_str(), k, m.status().ToString().c_str());
           return 1;
         }
-        tpsl::bench::PrintRow(*m);
+        tpsl::benchkit::PrintRow(*m);
       }
     }
     std::fflush(stdout);

@@ -4,13 +4,13 @@
 // partitioning 58-77%.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 
 int main() {
-  using tpsl::bench::Measure;
-  const int shift = tpsl::bench::ScaleShift(2);
+  using tpsl::benchkit::Measure;
+  const int shift = tpsl::benchkit::ScaleShift(2);
 
-  tpsl::bench::PrintHeader("Fig. 5: 2PS-L phase breakdown at k=32");
+  tpsl::benchkit::PrintHeader("Fig. 5: 2PS-L phase breakdown at k=32");
   std::printf("%-8s %10s %12s %14s %12s\n", "dataset", "degree%",
               "clustering%", "partitioning%", "total(s)");
   for (const tpsl::DatasetSpec& spec : tpsl::AllDatasets()) {

@@ -5,13 +5,13 @@
 // share.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 
 int main() {
-  using tpsl::bench::Measure;
-  const int shift = tpsl::bench::ScaleShift(2);
+  using tpsl::benchkit::Measure;
+  const int shift = tpsl::benchkit::ScaleShift(2);
 
-  tpsl::bench::PrintHeader("Fig. 6: prepartitioned vs remaining at k=32");
+  tpsl::benchkit::PrintHeader("Fig. 6: prepartitioned vs remaining at k=32");
   std::printf("%-8s %-8s %16s %12s %14s\n", "dataset", "type",
               "prepartitioned", "remaining", "prepart-share");
   for (const tpsl::DatasetSpec& spec : tpsl::AllDatasets()) {

@@ -5,13 +5,14 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 #include "core/two_phase_partitioner.h"
+#include "graph/in_memory_edge_stream.h"
 
 int main() {
-  const int shift = tpsl::bench::ScaleShift(2);
+  const int shift = tpsl::benchkit::ScaleShift(2);
 
-  tpsl::bench::PrintHeader("Fig. 7: normalized rf vs clustering passes, k=32");
+  tpsl::benchkit::PrintHeader("Fig. 7: normalized rf vs clustering passes, k=32");
   std::printf("%-8s", "dataset");
   for (int pass = 1; pass <= 8; ++pass) {
     std::printf(" %8s%d", "pass", pass);

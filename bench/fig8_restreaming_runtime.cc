@@ -4,13 +4,14 @@
 // because clustering is only a minor share of the total (Fig. 5).
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 #include "core/two_phase_partitioner.h"
+#include "graph/in_memory_edge_stream.h"
 
 int main() {
-  const int shift = tpsl::bench::ScaleShift(2);
+  const int shift = tpsl::benchkit::ScaleShift(2);
 
-  tpsl::bench::PrintHeader(
+  tpsl::benchkit::PrintHeader(
       "Fig. 8: normalized total run-time vs clustering passes, k=32");
   std::printf("%-8s", "dataset");
   for (int pass = 1; pass <= 8; ++pass) {

@@ -4,13 +4,13 @@
 // 50% but its run-time grows with k (up to ~12x at k=256).
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 
 int main() {
-  using tpsl::bench::Measure;
-  const int shift = tpsl::bench::ScaleShift(2);
+  using tpsl::benchkit::Measure;
+  const int shift = tpsl::benchkit::ScaleShift(2);
 
-  tpsl::bench::PrintHeader("Fig. 9: 2PS-HDRF normalized to 2PS-L");
+  tpsl::benchkit::PrintHeader("Fig. 9: 2PS-HDRF normalized to 2PS-L");
   std::printf("%-8s %6s %14s %14s\n", "dataset", "k", "norm-rf",
               "norm-time");
   for (const tpsl::DatasetSpec& spec : tpsl::RestreamingStudyDatasets()) {

@@ -5,7 +5,7 @@
 // state (replication tables, degree arrays, adjacency, ...).
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "benchkit/measure.h"
 #include "graph/generators.h"
 
 namespace {
@@ -20,11 +20,13 @@ std::vector<tpsl::Edge> Rmat(uint32_t scale, uint32_t edge_factor) {
 }  // namespace
 
 int main() {
-  using tpsl::bench::MeasureOnEdges;
-  const int shift = tpsl::bench::ScaleShift(0);
-  const uint32_t scale = static_cast<uint32_t>(15 - shift);
+  using tpsl::benchkit::MeasureOnEdges;
+  const int shift = tpsl::benchkit::ScaleShift(0);
+  // Clamp like graph/datasets.cc: large shifts floor at scale 10
+  // instead of wrapping the unsigned subtraction.
+  const uint32_t scale = shift < 5 ? static_cast<uint32_t>(15 - shift) : 10;
 
-  tpsl::bench::PrintHeader("Table II (empirical): state bytes vs k");
+  tpsl::benchkit::PrintHeader("Table II (empirical): state bytes vs k");
   std::printf("%-10s %6s %14s\n", "partitioner", "k", "state(bytes)");
   const auto edges = Rmat(scale, 8);
   for (const char* name : {"2PS-L", "HDRF", "DBH", "Grid", "NE"}) {
@@ -42,7 +44,7 @@ int main() {
       "Expected: 2PS-L/HDRF state grows with k (O(|V|*k) bit matrix); "
       "DBH/Grid/NE are k-independent.\n");
 
-  tpsl::bench::PrintHeader(
+  tpsl::benchkit::PrintHeader(
       "Table II (empirical): state bytes vs |E| at fixed |V|, k=32");
   std::printf("%-10s %14s %14s\n", "partitioner", "|E|", "state(bytes)");
   for (const char* name : {"2PS-L", "HDRF", "NE"}) {

@@ -8,13 +8,15 @@
 #include <cstdio>
 #include <string>
 
-#include "bench/bench_util.h"
+#include "baselines/registry.h"
+#include "benchkit/measure.h"
+#include "graph/in_memory_edge_stream.h"
 #include "procsim/distributed_pagerank.h"
 
 int main() {
-  const int shift = tpsl::bench::ScaleShift(2);
+  const int shift = tpsl::benchkit::ScaleShift(2);
 
-  tpsl::bench::PrintHeader(
+  tpsl::benchkit::PrintHeader(
       "Table IV: partitioning + PageRank(100) end-to-end, k=32");
   std::printf("%-10s %-8s %8s %14s %14s %12s\n", "partitioner", "dataset",
               "rf", "partition(s)", "pagerank(s)", "total(s)");

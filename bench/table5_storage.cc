@@ -8,14 +8,15 @@
 #include <cstdio>
 #include <string>
 
-#include "bench/bench_util.h"
+#include "baselines/registry.h"
+#include "benchkit/measure.h"
 #include "graph/binary_edge_list.h"
 #include "io/throttled_edge_stream.h"
 
 int main() {
-  const int shift = tpsl::bench::ScaleShift(2);
+  const int shift = tpsl::benchkit::ScaleShift(2);
 
-  tpsl::bench::PrintHeader("Table V: partitioning time by storage device");
+  tpsl::benchkit::PrintHeader("Table V: partitioning time by storage device");
   std::printf("%-8s %12s %12s %10s %12s %10s\n", "dataset", "pagecache(s)",
               "ssd(s)", "ssd-pen%", "hdd(s)", "hdd-pen%");
 

@@ -1,0 +1,251 @@
+#include "benchkit/comparator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tpsl {
+namespace benchkit {
+namespace {
+
+const char* StatusLabel(MetricStatus status) {
+  switch (status) {
+    case MetricStatus::kOk:
+      return "ok";
+    case MetricStatus::kImproved:
+      return "IMPROVED";
+    case MetricStatus::kRegressed:
+      return "REGRESSED";
+    case MetricStatus::kDrifted:
+      return "DRIFTED";
+    case MetricStatus::kMissing:
+      return "MISSING";
+    case MetricStatus::kNewMetric:
+      return "new";
+  }
+  return "?";
+}
+
+std::string FormatCheck(const MetricCheck& check) {
+  char buf[256];
+  if (check.status == MetricStatus::kMissing) {
+    std::snprintf(buf, sizeof(buf),
+                  "    %-28s baseline %.6g, absent from current run MISSING",
+                  check.metric.c_str(), check.baseline);
+  } else if (check.status == MetricStatus::kNewMetric) {
+    std::snprintf(buf, sizeof(buf),
+                  "    %-28s current %.6g, no baseline (new metric)",
+                  check.metric.c_str(), check.current);
+  } else {
+    std::snprintf(
+        buf, sizeof(buf),
+        "    %-28s baseline %.6g -> current %.6g (%+.1f%%, tol %s%.0f%%%s) %s",
+        check.metric.c_str(), check.baseline, check.current,
+        100.0 * check.rel_delta, check.tolerance.upper_only ? "+" : "±",
+        100.0 * check.tolerance.rel,
+        check.tolerance.informational ? ", informational" : "",
+        StatusLabel(check.status));
+  }
+  return buf;
+}
+
+void AppendConfigNote(const BenchRecord& baseline, const BenchRecord& current,
+                      ScenarioComparison* out) {
+  auto mismatch = [&out](const std::string& field, const std::string& base,
+                         const std::string& cur) {
+    out->notes.push_back("config drift: " + field + " baseline=" + base +
+                         " current=" + cur +
+                         " (re-emit the baseline after intentional changes)");
+    out->passed = false;
+  };
+  if (baseline.partitioner != current.partitioner) {
+    mismatch("partitioner", baseline.partitioner, current.partitioner);
+  }
+  if (baseline.dataset != current.dataset) {
+    mismatch("dataset", baseline.dataset, current.dataset);
+  }
+  if (baseline.k != current.k) {
+    mismatch("k", std::to_string(baseline.k), std::to_string(current.k));
+  }
+  if (baseline.scale_shift != current.scale_shift) {
+    mismatch("scale_shift", std::to_string(baseline.scale_shift),
+             std::to_string(current.scale_shift));
+  }
+  if (baseline.seed != current.seed) {
+    mismatch("seed", std::to_string(baseline.seed),
+             std::to_string(current.seed));
+  }
+}
+
+}  // namespace
+
+ToleranceSpec DefaultToleranceFor(const std::string& metric) {
+  if (metric == "seconds") {
+    // CI hardware differs from the machine that pinned the baseline;
+    // gate only gross slowdowns (>3x beyond a 0.05 s noise floor).
+    // The floor can be this low because the runner reports the
+    // fastest of several repeats, not a single noisy sample.
+    return {.rel = 2.0, .abs_floor = 0.05, .upper_only = true,
+            .informational = false};
+  }
+  if (metric.starts_with("phase_seconds/") || metric == "peak_rss_bytes") {
+    return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
+            .informational = true};
+  }
+  if (metric == "replication_factor" || metric == "measured_alpha") {
+    // Deterministic given (code, seed); 2% absorbs cross-platform
+    // floating-point ordering differences, nothing more.
+    return {.rel = 0.02, .abs_floor = 0.0, .upper_only = false,
+            .informational = false};
+  }
+  if (metric == "state_bytes") {
+    // Deterministic up to stdlib container growth policies.
+    return {.rel = 0.25, .abs_floor = 0.0, .upper_only = false,
+            .informational = false};
+  }
+  return {.rel = 0.05, .abs_floor = 0.0, .upper_only = false,
+          .informational = false};
+}
+
+ScenarioComparison CompareRecord(const BenchRecord& baseline,
+                                 const BenchRecord& current) {
+  ScenarioComparison comparison;
+  comparison.scenario = current.scenario;
+  AppendConfigNote(baseline, current, &comparison);
+
+  for (const auto& [name, base_value] : baseline.metrics) {
+    MetricCheck check;
+    check.metric = name;
+    check.baseline = base_value;
+    check.tolerance = DefaultToleranceFor(name);
+
+    const double* cur = current.FindMetric(name);
+    if (cur == nullptr) {
+      check.status = MetricStatus::kMissing;
+      check.failed = !check.tolerance.informational;
+    } else {
+      check.current = *cur;
+      const double abs_delta = std::fabs(check.current - check.baseline);
+      check.rel_delta =
+          abs_delta == 0.0
+              ? 0.0
+              : (check.current - check.baseline) /
+                    std::max(std::fabs(check.baseline), 1e-12);
+      const bool beyond =
+          abs_delta > check.tolerance.abs_floor &&
+          std::fabs(check.rel_delta) > check.tolerance.rel;
+      if (!beyond || check.tolerance.informational) {
+        check.status = MetricStatus::kOk;
+      } else if (check.rel_delta > 0.0) {
+        check.status = MetricStatus::kRegressed;
+        check.failed = true;
+      } else if (check.tolerance.upper_only) {
+        check.status = MetricStatus::kImproved;
+      } else {
+        check.status = MetricStatus::kDrifted;
+        check.failed = true;
+      }
+    }
+    comparison.passed = comparison.passed && !check.failed;
+    comparison.checks.push_back(std::move(check));
+  }
+
+  for (const auto& [name, cur_value] : current.metrics) {
+    if (baseline.FindMetric(name) == nullptr) {
+      MetricCheck check;
+      check.metric = name;
+      check.current = cur_value;
+      check.tolerance = DefaultToleranceFor(name);
+      check.status = MetricStatus::kNewMetric;
+      comparison.checks.push_back(std::move(check));
+    }
+  }
+  return comparison;
+}
+
+ComparisonReport CompareRecords(const std::vector<BenchRecord>& baselines,
+                                const std::vector<BenchRecord>& current) {
+  ComparisonReport report;
+  auto find_baseline = [&baselines](const std::string& scenario) {
+    for (const BenchRecord& record : baselines) {
+      if (record.scenario == scenario) {
+        return &record;
+      }
+    }
+    return static_cast<const BenchRecord*>(nullptr);
+  };
+
+  for (const BenchRecord& record : current) {
+    const BenchRecord* baseline = find_baseline(record.scenario);
+    if (baseline == nullptr) {
+      ScenarioComparison comparison;
+      comparison.scenario = record.scenario;
+      comparison.is_new = true;
+      comparison.notes.push_back(
+          "no baseline record; pin one with --emit --out <baseline dir>");
+      report.scenarios.push_back(std::move(comparison));
+      continue;
+    }
+    report.scenarios.push_back(CompareRecord(*baseline, record));
+  }
+
+  for (const BenchRecord& record : baselines) {
+    bool seen = false;
+    for (const BenchRecord& cur : current) {
+      seen = seen || cur.scenario == record.scenario;
+    }
+    if (!seen) {
+      report.stale_baselines.push_back(record.scenario);
+    }
+  }
+
+  for (const ScenarioComparison& comparison : report.scenarios) {
+    report.passed = report.passed && comparison.passed;
+  }
+  return report;
+}
+
+std::string ComparisonReport::ToString() const {
+  size_t ok = 0, failed = 0, fresh = 0;
+  for (const ScenarioComparison& comparison : scenarios) {
+    if (comparison.is_new) {
+      ++fresh;
+    } else if (comparison.passed) {
+      ++ok;
+    } else {
+      ++failed;
+    }
+  }
+  std::string out = "benchkit check: " + std::to_string(scenarios.size()) +
+                    " scenarios — " + std::to_string(ok) + " ok, " +
+                    std::to_string(failed) + " failed, " +
+                    std::to_string(fresh) + " new, " +
+                    std::to_string(stale_baselines.size()) + " stale\n";
+  for (const ScenarioComparison& comparison : scenarios) {
+    const char* tag = comparison.is_new ? "NEW "
+                      : comparison.passed ? " ok "
+                                          : "FAIL";
+    out += "  [" + std::string(tag) + "] " + comparison.scenario + "\n";
+    for (const std::string& note : comparison.notes) {
+      out += "    note: " + note + "\n";
+    }
+    for (const MetricCheck& check : comparison.checks) {
+      // Keep passing informational rows out of the report; they are in
+      // the emitted JSON for anyone who wants the detail.
+      if (check.status == MetricStatus::kOk && comparison.passed) {
+        continue;
+      }
+      out += FormatCheck(check) + "\n";
+    }
+  }
+  for (const std::string& stale : stale_baselines) {
+    out += "  [stale] baseline " + stale +
+           " matched no scenario in this run (delete or re-run without "
+           "--scenario filters)\n";
+  }
+  out += passed ? "PASS\n" : "FAIL\n";
+  return out;
+}
+
+}  // namespace benchkit
+}  // namespace tpsl

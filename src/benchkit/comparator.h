@@ -1,0 +1,90 @@
+#ifndef TPSL_BENCHKIT_COMPARATOR_H_
+#define TPSL_BENCHKIT_COMPARATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "benchkit/record.h"
+
+namespace tpsl {
+namespace benchkit {
+
+/// Per-metric acceptance band for the baseline diff.
+struct ToleranceSpec {
+  /// Max allowed |current - baseline| / |baseline|.
+  double rel = 0.05;
+  /// Absolute deviations at or below this never fail — soaks up
+  /// scheduler noise on metrics measured in fractions of a second.
+  double abs_floor = 0.0;
+  /// Only current > baseline can fail (run-time: faster is not a
+  /// regression, it is reported as improved).
+  bool upper_only = false;
+  /// Recorded and reported but never gated (peak RSS depends on the
+  /// allocator and platform; per-phase times are diagnostic detail —
+  /// their sum is gated via "seconds").
+  bool informational = false;
+};
+
+/// The tolerance policy keyed by metric name: wall time gets a wide
+/// upper-only band, deterministic quality metrics a tight two-sided
+/// one, per-phase/RSS metrics are informational.
+ToleranceSpec DefaultToleranceFor(const std::string& metric);
+
+enum class MetricStatus {
+  kOk,        // within tolerance
+  kImproved,  // beyond tolerance in the good direction of an
+              // upper-only metric (passes)
+  kRegressed,    // beyond tolerance in the failing direction
+  kDrifted,      // two-sided metric moved beyond tolerance downward —
+                 // behavior changed; update the baseline if intended
+  kMissing,      // baseline has the metric, current run does not
+  kNewMetric,    // current run has a metric the baseline lacks (note)
+};
+
+struct MetricCheck {
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Signed (current - baseline) / |baseline|; 0 when baseline is 0
+  /// and current is 0.
+  double rel_delta = 0.0;
+  ToleranceSpec tolerance;
+  MetricStatus status = MetricStatus::kOk;
+  bool failed = false;
+};
+
+struct ScenarioComparison {
+  std::string scenario;
+  /// True when no baseline record exists yet: reported, not failed —
+  /// run --emit into the baseline directory to pin it.
+  bool is_new = false;
+  bool passed = true;
+  std::vector<MetricCheck> checks;
+  /// Config-drift and other non-metric findings.
+  std::vector<std::string> notes;
+};
+
+struct ComparisonReport {
+  std::vector<ScenarioComparison> scenarios;
+  /// Baseline records with no matching scenario in the current run
+  /// (stale file or filtered run) — warned, not failed.
+  std::vector<std::string> stale_baselines;
+  bool passed = true;
+
+  /// Human-readable multi-line report, one block per scenario.
+  std::string ToString() const;
+};
+
+/// Diffs one scenario's current record against its baseline.
+ScenarioComparison CompareRecord(const BenchRecord& baseline,
+                                 const BenchRecord& current);
+
+/// Diffs a full run: matches records by scenario name, flags new
+/// scenarios and stale baselines.
+ComparisonReport CompareRecords(const std::vector<BenchRecord>& baselines,
+                                const std::vector<BenchRecord>& current);
+
+}  // namespace benchkit
+}  // namespace tpsl
+
+#endif  // TPSL_BENCHKIT_COMPARATOR_H_

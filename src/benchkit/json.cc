@@ -1,0 +1,552 @@
+#include "benchkit/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tpsl {
+namespace benchkit {
+
+JsonValue JsonValue::Bool(bool v) {
+  JsonValue value;
+  value.kind_ = Kind::kBool;
+  value.bool_ = v;
+  return value;
+}
+
+JsonValue JsonValue::Number(double v) {
+  JsonValue value;
+  value.kind_ = Kind::kNumber;
+  value.number_ = v;
+  return value;
+}
+
+JsonValue JsonValue::String(std::string v) {
+  JsonValue value;
+  value.kind_ = Kind::kString;
+  value.string_ = std::move(v);
+  return value;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue value;
+  value.kind_ = Kind::kArray;
+  return value;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue value;
+  value.kind_ = Kind::kObject;
+  return value;
+}
+
+bool JsonValue::bool_value() const {
+  TPSL_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  TPSL_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  TPSL_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::array() const {
+  TPSL_CHECK(is_array());
+  return array_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  TPSL_CHECK(is_object());
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const Member& member : members_) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  TPSL_CHECK(is_object());
+  for (Member& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  TPSL_CHECK(is_array());
+  array_.push_back(std::move(value));
+}
+
+namespace {
+
+/// Doubles that hold exact integers (the common case: k, byte counts)
+/// print without a fractional part; everything else at 12 significant
+/// digits, far below any comparator tolerance.
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  out->append(buf);
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  if (indent > 0) {
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * depth, ' ');
+  }
+}
+
+void WriteValue(const JsonValue& value, std::string* out, int indent,
+                int depth) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Kind::kBool:
+      out->append(value.bool_value() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber:
+      AppendNumber(out, value.number_value());
+      break;
+    case JsonValue::Kind::kString:
+      AppendQuoted(out, value.string_value());
+      break;
+    case JsonValue::Kind::kArray: {
+      if (value.array().empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& element : value.array()) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        AppendIndent(out, indent, depth + 1);
+        WriteValue(element, out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      if (value.members().empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const JsonValue::Member& member : value.members()) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        AppendIndent(out, indent, depth + 1);
+        AppendQuoted(out, member.first);
+        out->append(indent > 0 ? ": " : ":");
+        WriteValue(member.second, out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over the full input; no allocations beyond
+/// the values it builds.
+class Parser {
+ public:
+  explicit Parser(const std::string& text)
+      : pos_(text.data()), end_(text.data() + text.size()) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue value;
+    TPSL_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != end_) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(offset_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ != end_ &&
+           (*pos_ == ' ' || *pos_ == '\t' || *pos_ == '\n' || *pos_ == '\r')) {
+      Advance();
+    }
+  }
+
+  void Advance() {
+    ++pos_;
+    ++offset_;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::strlen(literal);
+    if (static_cast<size_t>(end_ - pos_) < len ||
+        std::strncmp(pos_, literal, len) != 0) {
+      return false;
+    }
+    pos_ += len;
+    offset_ += len;
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting deeper than 64 levels");
+    }
+    SkipWhitespace();
+    if (pos_ == end_) {
+      return Error("unexpected end of input");
+    }
+    switch (*pos_) {
+      case 'n':
+        if (!ConsumeLiteral("null")) {
+          return Error("invalid literal");
+        }
+        *out = JsonValue::Null();
+        return Status::OK();
+      case 't':
+        if (!ConsumeLiteral("true")) {
+          return Error("invalid literal");
+        }
+        *out = JsonValue::Bool(true);
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) {
+          return Error("invalid literal");
+        }
+        *out = JsonValue::Bool(false);
+        return Status::OK();
+      case '"': {
+        std::string s;
+        TPSL_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    Advance();  // opening quote
+    while (true) {
+      if (pos_ == end_) {
+        return Error("unterminated string");
+      }
+      const char c = *pos_;
+      if (c == '"') {
+        Advance();
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        Advance();
+        continue;
+      }
+      Advance();  // backslash
+      if (pos_ == end_) {
+        return Error("unterminated escape");
+      }
+      const char esc = *pos_;
+      Advance();
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          TPSL_RETURN_IF_ERROR(ParseHex4(&code));
+          // Combine a UTF-16 surrogate pair into one code point.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (end_ - pos_ < 2 || pos_[0] != '\\' || pos_[1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            Advance();
+            Advance();
+            uint32_t low = 0;
+            TPSL_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (end_ - pos_ < 4) {
+      return Error("truncated \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = *pos_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+      Advance();
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* start = pos_;
+    if (pos_ != end_ && (*pos_ == '-' || *pos_ == '+')) {
+      if (*pos_ == '+') {
+        return Error("numbers may not start with '+'");
+      }
+      Advance();
+    }
+    bool digits = false;
+    while (pos_ != end_ && ((*pos_ >= '0' && *pos_ <= '9') || *pos_ == '.' ||
+                            *pos_ == 'e' || *pos_ == 'E' || *pos_ == '-' ||
+                            *pos_ == '+')) {
+      digits = digits || (*pos_ >= '0' && *pos_ <= '9');
+      Advance();
+    }
+    if (!digits) {
+      return Error("invalid value");
+    }
+    const std::string token(start, static_cast<size_t>(pos_ - start));
+    char* parsed_end = nullptr;
+    const double value = std::strtod(token.c_str(), &parsed_end);
+    if (parsed_end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    // Overflowed literals (1e999) would round-trip asymmetrically:
+    // accepted as inf here, re-serialized as null by the writer.
+    if (!std::isfinite(value)) {
+      return Error("number out of double range '" + token + "'");
+    }
+    *out = JsonValue::Number(value);
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Advance();  // '['
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ != end_ && *pos_ == ']') {
+      Advance();
+      *out = std::move(array);
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue element;
+      TPSL_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+      array.Append(std::move(element));
+      SkipWhitespace();
+      if (pos_ == end_) {
+        return Error("unterminated array");
+      }
+      if (*pos_ == ',') {
+        Advance();
+        continue;
+      }
+      if (*pos_ == ']') {
+        Advance();
+        *out = std::move(array);
+        return Status::OK();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Advance();  // '{'
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ != end_ && *pos_ == '}') {
+      Advance();
+      *out = std::move(object);
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ == end_ || *pos_ != '"') {
+        return Error("expected string key in object");
+      }
+      std::string key;
+      TPSL_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (pos_ == end_ || *pos_ != ':') {
+        return Error("expected ':' after object key");
+      }
+      Advance();
+      JsonValue value;
+      TPSL_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      object.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ == end_) {
+        return Error("unterminated object");
+      }
+      if (*pos_ == ',') {
+        Advance();
+        continue;
+      }
+      if (*pos_ == '}') {
+        Advance();
+        *out = std::move(object);
+        return Status::OK();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const char* pos_;
+  const char* end_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Write(int indent) const {
+  std::string out;
+  WriteValue(*this, &out, indent, 0);
+  return out;
+}
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace benchkit
+}  // namespace tpsl

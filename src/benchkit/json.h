@@ -1,0 +1,80 @@
+#ifndef TPSL_BENCHKIT_JSON_H_
+#define TPSL_BENCHKIT_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tpsl {
+namespace benchkit {
+
+/// Minimal JSON value used for benchkit's measurement records and the
+/// checked-in baseline files — deliberately dependency-free. Objects
+/// preserve insertion order so emitted files are stable and diff
+/// cleanly under version control.
+///
+/// Limits (fine for flat metric records, documented for hand-editors):
+/// numbers are doubles, non-finite values serialize as null, and
+/// duplicate object keys are rejected by Set() semantics (last wins).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  /// Default-constructs null; use the named factories for the rest.
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string v);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling one on the wrong kind is a programming
+  /// error (checked).
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& array() const;
+  const std::vector<Member>& members() const;
+
+  /// Object lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  /// Sets `key` on an object, replacing an existing member in place.
+  void Set(std::string key, JsonValue value);
+  /// Appends to an array.
+  void Append(JsonValue value);
+
+  /// Serializes with `indent` spaces per level (0 = compact one-line).
+  /// Output always ends without a trailing newline.
+  std::string Write(int indent = 2) const;
+
+  bool operator==(const JsonValue& other) const = default;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> members_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error, as
+/// is nesting deeper than 64 levels.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace benchkit
+}  // namespace tpsl
+
+#endif  // TPSL_BENCHKIT_JSON_H_

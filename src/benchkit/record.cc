@@ -1,0 +1,207 @@
+#include "benchkit/record.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+namespace tpsl {
+namespace benchkit {
+namespace {
+
+constexpr int kRecordVersion = 1;
+constexpr char kFilePrefix[] = "BENCH_";
+constexpr char kFileSuffix[] = ".json";
+
+StatusOr<double> RequireNumber(const JsonValue& json, const char* key) {
+  const JsonValue* value = json.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    return Status::InvalidArgument(std::string("record missing numeric '") +
+                                   key + "'");
+  }
+  return value->number_value();
+}
+
+/// An integral field within [min, max] — hand-edited baselines can
+/// hold anything, and casting an unchecked double to an integer type
+/// is UB out of range.
+StatusOr<double> RequireIntegral(const JsonValue& json, const char* key,
+                                 double min, double max) {
+  TPSL_ASSIGN_OR_RETURN(const double value, RequireNumber(json, key));
+  if (!(value >= min && value <= max) || value != std::floor(value)) {
+    return Status::InvalidArgument(std::string("field '") + key +
+                                   "' must be an integer in [" +
+                                   std::to_string(min) + ", " +
+                                   std::to_string(max) + "]");
+  }
+  return value;
+}
+
+StatusOr<std::string> RequireString(const JsonValue& json, const char* key) {
+  const JsonValue* value = json.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    return Status::InvalidArgument(std::string("record missing string '") +
+                                   key + "'");
+  }
+  return value->string_value();
+}
+
+}  // namespace
+
+const double* BenchRecord::FindMetric(const std::string& name) const {
+  for (const auto& [metric, value] : metrics) {
+    if (metric == name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+void BenchRecord::SetMetric(const std::string& name, double value) {
+  for (auto& [metric, existing] : metrics) {
+    if (metric == name) {
+      existing = value;
+      return;
+    }
+  }
+  metrics.emplace_back(name, value);
+}
+
+JsonValue BenchRecord::ToJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("benchkit_version", JsonValue::Number(kRecordVersion));
+  json.Set("scenario", JsonValue::String(scenario));
+  json.Set("partitioner", JsonValue::String(partitioner));
+  json.Set("dataset", JsonValue::String(dataset));
+  json.Set("k", JsonValue::Number(k));
+  json.Set("scale_shift", JsonValue::Number(scale_shift));
+  json.Set("seed", JsonValue::Number(static_cast<double>(seed)));
+  JsonValue metric_object = JsonValue::Object();
+  for (const auto& [name, value] : metrics) {
+    metric_object.Set(name, JsonValue::Number(value));
+  }
+  json.Set("metrics", std::move(metric_object));
+  return json;
+}
+
+StatusOr<BenchRecord> BenchRecord::FromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("bench record must be a JSON object");
+  }
+  TPSL_ASSIGN_OR_RETURN(const double version,
+                        RequireNumber(json, "benchkit_version"));
+  if (version != kRecordVersion) {
+    return Status::InvalidArgument("unsupported benchkit_version " +
+                                   std::to_string(version));
+  }
+  BenchRecord record;
+  TPSL_ASSIGN_OR_RETURN(record.scenario, RequireString(json, "scenario"));
+  TPSL_ASSIGN_OR_RETURN(record.partitioner,
+                        RequireString(json, "partitioner"));
+  TPSL_ASSIGN_OR_RETURN(record.dataset, RequireString(json, "dataset"));
+  TPSL_ASSIGN_OR_RETURN(const double k,
+                        RequireIntegral(json, "k", 0, 4294967295.0));
+  record.k = static_cast<uint32_t>(k);
+  TPSL_ASSIGN_OR_RETURN(const double shift,
+                        RequireIntegral(json, "scale_shift", -64, 64));
+  record.scale_shift = static_cast<int>(shift);
+  // Seeds round-trip through a double, so the exact range is [0, 2^53].
+  TPSL_ASSIGN_OR_RETURN(
+      const double seed,
+      RequireIntegral(json, "seed", 0, 9007199254740992.0));
+  record.seed = static_cast<uint64_t>(seed);
+
+  const JsonValue* metric_object = json.Find("metrics");
+  if (metric_object == nullptr || !metric_object->is_object()) {
+    return Status::InvalidArgument("record missing 'metrics' object");
+  }
+  for (const auto& [name, value] : metric_object->members()) {
+    if (!value.is_number()) {
+      return Status::InvalidArgument("metric '" + name + "' is not numeric");
+    }
+    record.metrics.emplace_back(name, value.number_value());
+  }
+  return record;
+}
+
+std::string RecordFileName(const std::string& scenario) {
+  return kFilePrefix + scenario + kFileSuffix;
+}
+
+Status WriteRecordFile(const BenchRecord& record, const std::string& path) {
+  const std::string text = record.ToJson().Write() + "\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != text.size() || !close_ok) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<BenchRecord> ReadRecordFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  // Distinguish a read error from EOF, or a truncated read surfaces as
+  // a baffling "JSON parse error" pointing at a valid file.
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IoError("read failed: " + path);
+  }
+  TPSL_ASSIGN_OR_RETURN(JsonValue json, ParseJson(text));
+  auto record = BenchRecord::FromJson(json);
+  if (!record.ok()) {
+    return Status(record.status().code(),
+                  path + ": " + record.status().message());
+  }
+  return record;
+}
+
+StatusOr<std::vector<BenchRecord>> ReadRecordDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot read baseline directory " + dir + ": " +
+                           ec.message());
+  }
+  std::vector<std::string> paths;
+  // Advance with the error_code overload: a range-for's operator++
+  // throws on iteration errors (entry vanishing mid-scan, permission
+  // flips), and this function's contract is Status, not exceptions.
+  for (const std::filesystem::directory_iterator end; it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.starts_with(kFilePrefix) && name.ends_with(kFileSuffix)) {
+      paths.push_back(it->path().string());
+    }
+  }
+  if (ec) {  // increment() parks the iterator at end() on error
+    return Status::IoError("error scanning " + dir + ": " + ec.message());
+  }
+  if (paths.empty()) {
+    return Status::NotFound("no BENCH_*.json records in " + dir);
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<BenchRecord> records;
+  records.reserve(paths.size());
+  for (const std::string& path : paths) {
+    TPSL_ASSIGN_OR_RETURN(BenchRecord record, ReadRecordFile(path));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace benchkit
+}  // namespace tpsl

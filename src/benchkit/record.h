@@ -1,0 +1,56 @@
+#ifndef TPSL_BENCHKIT_RECORD_H_
+#define TPSL_BENCHKIT_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchkit/json.h"
+#include "util/status.h"
+
+namespace tpsl {
+namespace benchkit {
+
+/// One scenario's pinned measurement, as persisted in
+/// bench/baselines/BENCH_<scenario>.json. The identity fields
+/// (partitioner, dataset, k, scale_shift, seed) are stored alongside
+/// the metrics so the comparator can refuse to diff two records whose
+/// configuration silently drifted apart.
+struct BenchRecord {
+  std::string scenario;
+  std::string partitioner;
+  std::string dataset;
+  uint32_t k = 0;
+  int scale_shift = 0;
+  uint64_t seed = 0;
+  /// Flat metric map in emission order ("seconds",
+  /// "replication_factor", "measured_alpha", "state_bytes",
+  /// "peak_rss_bytes", "num_edges", "phase_seconds/<phase>"...).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  const double* FindMetric(const std::string& name) const;
+  void SetMetric(const std::string& name, double value);
+
+  JsonValue ToJson() const;
+  static StatusOr<BenchRecord> FromJson(const JsonValue& json);
+
+  bool operator==(const BenchRecord& other) const = default;
+};
+
+/// "BENCH_<scenario>.json" — the naming contract shared by --emit,
+/// --check, and the baseline directory.
+std::string RecordFileName(const std::string& scenario);
+
+Status WriteRecordFile(const BenchRecord& record, const std::string& path);
+StatusOr<BenchRecord> ReadRecordFile(const std::string& path);
+
+/// Reads every BENCH_*.json in `dir`, sorted by file name. A missing
+/// or empty directory is an error (a perf gate with no baselines is a
+/// misconfiguration, not a pass).
+StatusOr<std::vector<BenchRecord>> ReadRecordDir(const std::string& dir);
+
+}  // namespace benchkit
+}  // namespace tpsl
+
+#endif  // TPSL_BENCHKIT_RECORD_H_

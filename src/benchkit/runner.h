@@ -1,0 +1,34 @@
+#ifndef TPSL_BENCHKIT_RUNNER_H_
+#define TPSL_BENCHKIT_RUNNER_H_
+
+#include "benchkit/record.h"
+#include "benchkit/scenario.h"
+#include "util/status.h"
+
+namespace tpsl {
+namespace benchkit {
+
+struct RunScenarioOptions {
+  /// Additional dataset shrink on top of the scenario's pinned
+  /// scale_shift. Used by smoke runs to finish in milliseconds; must
+  /// be 0 when the result is meant to be compared against baselines.
+  int extra_scale_shift = 0;
+  /// Timing repetitions; "seconds" and the per-phase times report the
+  /// fastest repeat (a stable lower bound, standard bench practice —
+  /// scheduler noise only ever adds time). Deterministic metrics are
+  /// identical across repeats and taken from the first.
+  int repeats = 3;
+};
+
+/// Executes one scenario: materializes its dataset, runs the
+/// partitioner, and returns a record with the gated metrics
+/// ("seconds", "replication_factor", "measured_alpha", "state_bytes",
+/// "num_edges") plus informational ones ("peak_rss_bytes",
+/// "phase_seconds/<phase>").
+StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
+                                  const RunScenarioOptions& options = {});
+
+}  // namespace benchkit
+}  // namespace tpsl
+
+#endif  // TPSL_BENCHKIT_RUNNER_H_

@@ -1,0 +1,43 @@
+#include "benchkit/scenario.h"
+
+namespace tpsl {
+namespace benchkit {
+
+const std::vector<Scenario>& PinnedScenarios() {
+  // Coverage axes: 2PS-L across the three graph families (social
+  // community, web/planted-partition, pure R-MAT) and across k; the
+  // re-streaming variant (2PS-HDRF); and the paper's main comparison
+  // points — HDRF (stateful streaming), DBH (stateless hashing),
+  // Greedy (stateful greedy), NE (in-memory, best quality).
+  static const std::vector<Scenario>* scenarios = new std::vector<Scenario>{
+      {"2psl_ok_k32", "2PS-L on the social-community graph, headline config",
+       "2PS-L", "OK", 32, 2, 42},
+      {"2psl_ok_k128", "2PS-L at high partition count (flat-in-k claim)",
+       "2PS-L", "OK", 128, 2, 42},
+      {"2psl_it_k32", "2PS-L on a web graph (strong communities)", "2PS-L",
+       "IT", 32, 3, 42},
+      {"2psl_tw_k32", "2PS-L on pure R-MAT (adversarial skew)", "2PS-L",
+       "TW", 32, 3, 42},
+      {"2pshdrf_ok_k32", "2PS-HDRF re-streaming variant", "2PS-HDRF", "OK",
+       32, 2, 42},
+      {"hdrf_ok_k32", "HDRF streaming baseline", "HDRF", "OK", 32, 2, 42},
+      {"dbh_ok_k32", "DBH stateless hashing baseline", "DBH", "OK", 32, 2,
+       42},
+      {"greedy_ok_k32", "Greedy stateful streaming baseline", "Greedy", "OK",
+       32, 2, 42},
+      {"ne_ok_k32", "NE in-memory quality baseline", "NE", "OK", 32, 2, 42},
+  };
+  return *scenarios;
+}
+
+const Scenario* FindScenario(const std::string& name) {
+  for (const Scenario& scenario : PinnedScenarios()) {
+    if (scenario.name == name) {
+      return &scenario;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace benchkit
+}  // namespace tpsl

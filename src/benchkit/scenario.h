@@ -1,0 +1,41 @@
+#ifndef TPSL_BENCHKIT_SCENARIO_H_
+#define TPSL_BENCHKIT_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpsl {
+namespace benchkit {
+
+/// One pinned benchmark configuration: a named, seeded synthetic-graph
+/// × partitioner × k combination. Everything that affects the measured
+/// numbers is in the struct, so a scenario re-run on the same code is
+/// bit-reproducible (modulo wall time) — the property the baseline
+/// gate relies on.
+struct Scenario {
+  std::string name;         // stable id; keys the baseline file name
+  std::string description;  // one line for --list
+  std::string partitioner;  // baselines/registry evaluation name
+  std::string dataset;      // graph/datasets Table III code
+  uint32_t k = 32;
+  /// Dataset shrink relative to the default bench size, pinned per
+  /// scenario (deliberately independent of the TPSL_SCALE_SHIFT
+  /// environment knob, which would unpin the baseline).
+  int scale_shift = 2;
+  uint64_t seed = 42;  // PartitionConfig seed
+};
+
+/// The pinned perf-tracking roster: 2PS-L on diverse graph families
+/// plus the headline streaming and in-memory baselines, all at a
+/// laptop-friendly scale (each scenario runs in well under a second in
+/// a release build).
+const std::vector<Scenario>& PinnedScenarios();
+
+/// Looks up a pinned scenario by name; nullptr when unknown.
+const Scenario* FindScenario(const std::string& name);
+
+}  // namespace benchkit
+}  // namespace tpsl
+
+#endif  // TPSL_BENCHKIT_SCENARIO_H_

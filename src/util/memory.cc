@@ -1,7 +1,12 @@
 #include "util/memory.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
 
 namespace tpsl {
 namespace {
@@ -32,11 +37,41 @@ uint64_t ReadProcStatusKb(const char* field) {
 
 uint64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS"); }
 
+uint64_t GetrusageMaxRssBytes() {
+#ifndef _WIN32
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0 || usage.ru_maxrss < 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 uint64_t PeakRssBytes() {
-  const uint64_t peak = ReadProcStatusKb("VmHWM");
-  // Some kernels/containers do not report a high-water mark; fall back
-  // to the current RSS so callers always get a usable lower bound.
-  return peak != 0 ? peak : CurrentRssBytes();
+  // Prefer VmHWM: unlike ru_maxrss it can be reset (ResetPeakRss), so
+  // per-phase peaks are measurable. getrusage covers containers that
+  // mask /proc; current RSS is the lower bound of last resort.
+  const uint64_t hwm = ReadProcStatusKb("VmHWM");
+  if (hwm != 0) {
+    return hwm;
+  }
+  const uint64_t rusage = GetrusageMaxRssBytes();
+  return rusage != 0 ? rusage : CurrentRssBytes();
+}
+
+bool ResetPeakRss() {
+  std::FILE* file = std::fopen("/proc/self/clear_refs", "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const bool wrote = std::fwrite("5", 1, 1, file) == 1;
+  return std::fclose(file) == 0 && wrote;
 }
 
 }  // namespace tpsl

@@ -9,10 +9,23 @@ namespace tpsl {
 /// platform does not expose it (/proc/self/status on Linux).
 uint64_t CurrentRssBytes();
 
-/// Peak resident set size (VmHWM) of this process in bytes, or 0 if
-/// unavailable. Used to report the "memory overhead" columns of the
-/// paper's Fig. 4.
+/// Peak RSS reported by getrusage(RUSAGE_SELF).ru_maxrss in bytes, or
+/// 0 if unavailable. Works in containers that mask /proc.
+uint64_t GetrusageMaxRssBytes();
+
+/// Peak resident set size (high-water mark) of this process in bytes:
+/// /proc/self/status VmHWM when available (it honors ResetPeakRss),
+/// else the getrusage value, else the current RSS — so callers always
+/// get a usable lower bound. Used for the memory columns of the
+/// paper's Fig. 4 and the benchkit runner's peak_rss_bytes metric.
 uint64_t PeakRssBytes();
+
+/// Resets the kernel's RSS high-water mark (Linux: writes "5" to
+/// /proc/self/clear_refs) so PeakRssBytes() measures the peak of the
+/// work that follows, not of the whole process lifetime. Returns false
+/// where unsupported (non-Linux, restricted /proc) — there
+/// PeakRssBytes() keeps reporting the lifetime peak.
+bool ResetPeakRss();
 
 }  // namespace tpsl
 

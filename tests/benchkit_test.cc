@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "benchkit/comparator.h"
+#include "benchkit/json.h"
+#include "benchkit/measure.h"
+#include "benchkit/record.h"
+#include "benchkit/runner.h"
+#include "benchkit/scenario.h"
+
+namespace tpsl {
+namespace benchkit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writer/reader
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, WriteParseRoundTrip) {
+  JsonValue object = JsonValue::Object();
+  object.Set("name", JsonValue::String("2psl_ok_k32"));
+  object.Set("k", JsonValue::Number(32));
+  object.Set("fraction", JsonValue::Number(0.125));
+  object.Set("flag", JsonValue::Bool(true));
+  object.Set("nothing", JsonValue::Null());
+  JsonValue array = JsonValue::Array();
+  array.Append(JsonValue::Number(1));
+  array.Append(JsonValue::String("quote\" backslash\\ newline\n"));
+  array.Append(JsonValue::Object());
+  object.Set("items", std::move(array));
+
+  for (const int indent : {0, 2, 4}) {
+    auto parsed = ParseJson(object.Write(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, object) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrderAndSetReplaces) {
+  JsonValue object = JsonValue::Object();
+  object.Set("z", JsonValue::Number(1));
+  object.Set("a", JsonValue::Number(2));
+  object.Set("z", JsonValue::Number(3));
+  ASSERT_EQ(object.members().size(), 2u);
+  EXPECT_EQ(object.members()[0].first, "z");
+  EXPECT_EQ(object.members()[0].second.number_value(), 3);
+  EXPECT_EQ(object.members()[1].first, "a");
+}
+
+TEST(JsonTest, ParsesEscapesAndUnicode) {
+  auto parsed = ParseJson(R"({"s": "tab\thex\u0041 pair\ud83d\ude00"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* s = parsed->Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string_value(), "tab\thexA pair\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, IntegralNumbersWriteWithoutFraction) {
+  JsonValue object = JsonValue::Object();
+  object.Set("state_bytes", JsonValue::Number(1234567890.0));
+  EXPECT_EQ(object.Write(0), R"({"state_bytes":1234567890})");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",        "{",        "[1,",      "{\"a\" 1}",  "{\"a\":}",
+      "nul",     "1 2",      "{} trailing",
+      "\"unterminated",      "{\"a\":\"\\q\"}",  "+5",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonTest, RejectsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+// ---------------------------------------------------------------------------
+// BenchRecord round trip
+// ---------------------------------------------------------------------------
+
+BenchRecord MakeRecord() {
+  BenchRecord record;
+  record.scenario = "2psl_ok_k32";
+  record.partitioner = "2PS-L";
+  record.dataset = "OK";
+  record.k = 32;
+  record.scale_shift = 2;
+  record.seed = 42;
+  record.SetMetric("seconds", 0.125);
+  record.SetMetric("replication_factor", 2.375);
+  record.SetMetric("measured_alpha", 1.05);
+  record.SetMetric("state_bytes", 1 << 20);
+  record.SetMetric("num_edges", 60000);
+  record.SetMetric("peak_rss_bytes", 12345678);
+  record.SetMetric("phase_seconds/clustering", 0.0625);
+  return record;
+}
+
+TEST(RecordTest, JsonRoundTrip) {
+  const BenchRecord record = MakeRecord();
+  auto reparsed = ParseJson(record.ToJson().Write());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  auto back = BenchRecord::FromJson(*reparsed);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, record);
+}
+
+TEST(RecordTest, FileRoundTrip) {
+  const BenchRecord record = MakeRecord();
+  const std::string path =
+      testing::TempDir() + "/" + RecordFileName(record.scenario);
+  ASSERT_TRUE(WriteRecordFile(record, path).ok());
+  auto back = ReadRecordFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, record);
+}
+
+TEST(RecordTest, FromJsonRejectsOutOfRangeIntegerFields) {
+  // Hand-edited baselines can hold anything; the reader must reject
+  // values whose narrowing cast would be UB instead of passing them on.
+  struct Case {
+    const char* field;
+    double value;
+  } cases[] = {{"k", -1}, {"k", 1e20},      {"k", 2.5},
+               {"seed", -1}, {"scale_shift", 1e10}};
+  for (const Case& c : cases) {
+    JsonValue json = MakeRecord().ToJson();
+    json.Set(c.field, JsonValue::Number(c.value));
+    EXPECT_FALSE(BenchRecord::FromJson(json).ok())
+        << c.field << " = " << c.value;
+  }
+}
+
+TEST(RecordTest, FromJsonRejectsMissingFields) {
+  JsonValue json = MakeRecord().ToJson();
+  JsonValue no_metrics = json;
+  no_metrics.Set("metrics", JsonValue::Null());
+  EXPECT_FALSE(BenchRecord::FromJson(no_metrics).ok());
+  JsonValue bad_version = json;
+  bad_version.Set("benchkit_version", JsonValue::Number(99));
+  EXPECT_FALSE(BenchRecord::FromJson(bad_version).ok());
+  EXPECT_FALSE(BenchRecord::FromJson(JsonValue::Array()).ok());
+}
+
+TEST(RecordTest, ReadRecordDirRequiresRecords) {
+  EXPECT_FALSE(ReadRecordDir(testing::TempDir() + "/does_not_exist").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Comparator tolerance edges
+// ---------------------------------------------------------------------------
+
+TEST(ComparatorTest, ExactMatchPasses) {
+  const BenchRecord record = MakeRecord();
+  const ScenarioComparison comparison = CompareRecord(record, record);
+  EXPECT_TRUE(comparison.passed);
+  for (const MetricCheck& check : comparison.checks) {
+    EXPECT_EQ(check.status, MetricStatus::kOk) << check.metric;
+  }
+}
+
+TEST(ComparatorTest, WithinTolerancePasses) {
+  const BenchRecord baseline = MakeRecord();
+  BenchRecord current = baseline;
+  current.SetMetric("seconds", 0.125 * 2.5);              // < 3x, tol +200%
+  current.SetMetric("replication_factor", 2.375 * 1.01);  // < 2%
+  current.SetMetric("state_bytes", (1 << 20) * 1.2);      // < 25%
+  EXPECT_TRUE(CompareRecord(baseline, current).passed);
+}
+
+TEST(ComparatorTest, TimeRegressionFails) {
+  const BenchRecord baseline = MakeRecord();
+  BenchRecord current = baseline;
+  current.SetMetric("seconds", 1.5);  // 12x the 0.125 s baseline
+  const ScenarioComparison comparison = CompareRecord(baseline, current);
+  EXPECT_FALSE(comparison.passed);
+  for (const MetricCheck& check : comparison.checks) {
+    if (check.metric == "seconds") {
+      EXPECT_EQ(check.status, MetricStatus::kRegressed);
+      EXPECT_TRUE(check.failed);
+    }
+  }
+}
+
+TEST(ComparatorTest, TimeImprovementPasses) {
+  const BenchRecord baseline = MakeRecord();
+  BenchRecord current = baseline;
+  current.SetMetric("seconds", 0.001);
+  const ScenarioComparison comparison = CompareRecord(baseline, current);
+  EXPECT_TRUE(comparison.passed);
+}
+
+TEST(ComparatorTest, SmallAbsoluteTimeNoiseIsIgnored) {
+  // 0.01 s -> 0.05 s is 5x relative but within the 0.05 s absolute
+  // floor: cross-machine variance, not a regression. 0.07 s clears
+  // both bars and fails.
+  BenchRecord baseline = MakeRecord();
+  baseline.SetMetric("seconds", 0.01);
+  BenchRecord current = baseline;
+  current.SetMetric("seconds", 0.05);
+  EXPECT_TRUE(CompareRecord(baseline, current).passed);
+  current.SetMetric("seconds", 0.07);
+  EXPECT_FALSE(CompareRecord(baseline, current).passed);
+}
+
+TEST(ComparatorTest, QualityDriftFailsBothDirections) {
+  const BenchRecord baseline = MakeRecord();
+  BenchRecord worse = baseline;
+  worse.SetMetric("replication_factor", 2.375 * 1.10);
+  EXPECT_FALSE(CompareRecord(baseline, worse).passed);
+  BenchRecord better = baseline;
+  better.SetMetric("replication_factor", 2.375 * 0.90);
+  const ScenarioComparison comparison = CompareRecord(baseline, better);
+  EXPECT_FALSE(comparison.passed);  // unexpected change: re-pin the baseline
+  for (const MetricCheck& check : comparison.checks) {
+    if (check.metric == "replication_factor") {
+      EXPECT_EQ(check.status, MetricStatus::kDrifted);
+    }
+  }
+}
+
+TEST(ComparatorTest, MissingMetricFails) {
+  const BenchRecord baseline = MakeRecord();
+  BenchRecord current = baseline;
+  current.metrics.erase(current.metrics.begin());  // drop "seconds"
+  const ScenarioComparison comparison = CompareRecord(baseline, current);
+  EXPECT_FALSE(comparison.passed);
+  EXPECT_EQ(comparison.checks.front().status, MetricStatus::kMissing);
+}
+
+TEST(ComparatorTest, ExtraMetricIsNotedNotFailed) {
+  const BenchRecord baseline = MakeRecord();
+  BenchRecord current = baseline;
+  current.SetMetric("brand_new_metric", 1.0);
+  const ScenarioComparison comparison = CompareRecord(baseline, current);
+  EXPECT_TRUE(comparison.passed);
+  bool saw_new = false;
+  for (const MetricCheck& check : comparison.checks) {
+    saw_new = saw_new || check.status == MetricStatus::kNewMetric;
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(ComparatorTest, InformationalMetricsNeverFail) {
+  const BenchRecord baseline = MakeRecord();
+  BenchRecord current = baseline;
+  current.SetMetric("peak_rss_bytes", 12345678.0 * 100);
+  current.SetMetric("phase_seconds/clustering", 50.0);
+  EXPECT_TRUE(CompareRecord(baseline, current).passed);
+}
+
+TEST(ComparatorTest, ConfigDriftFails) {
+  const BenchRecord baseline = MakeRecord();
+  BenchRecord current = baseline;
+  current.k = 64;
+  const ScenarioComparison comparison = CompareRecord(baseline, current);
+  EXPECT_FALSE(comparison.passed);
+  ASSERT_FALSE(comparison.notes.empty());
+}
+
+TEST(ComparatorTest, NewScenarioPassesAndStaleBaselineIsFlagged) {
+  BenchRecord baseline = MakeRecord();
+  baseline.scenario = "retired_scenario";
+  BenchRecord current = MakeRecord();
+  const ComparisonReport report = CompareRecords({baseline}, {current});
+  EXPECT_TRUE(report.passed);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  EXPECT_TRUE(report.scenarios[0].is_new);
+  ASSERT_EQ(report.stale_baselines.size(), 1u);
+  EXPECT_EQ(report.stale_baselines[0], "retired_scenario");
+  EXPECT_NE(report.ToString().find("PASS"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ScaleShift env parsing (hardened against silent atoi garbage)
+// ---------------------------------------------------------------------------
+
+TEST(ScaleShiftTest, ParsesValidValuesAndRejectsGarbage) {
+  unsetenv("TPSL_SCALE_SHIFT");
+  EXPECT_EQ(ScaleShift(2), 2);
+  setenv("TPSL_SCALE_SHIFT", "5", 1);
+  EXPECT_EQ(ScaleShift(2), 5);
+  setenv("TPSL_SCALE_SHIFT", "0", 1);
+  EXPECT_EQ(ScaleShift(2), 0);
+  for (const char* garbage : {"abc", "3abc", "", " ", "-1", "31", "1e3"}) {
+    setenv("TPSL_SCALE_SHIFT", garbage, 1);
+    EXPECT_EQ(ScaleShift(2), 2) << "value: '" << garbage << "'";
+  }
+  unsetenv("TPSL_SCALE_SHIFT");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scenario run
+// ---------------------------------------------------------------------------
+
+TEST(RunnerTest, RegistryHasTheContractedCoverage) {
+  const std::vector<Scenario>& scenarios = PinnedScenarios();
+  EXPECT_GE(scenarios.size(), 8u);
+  bool has_2psl = false;
+  std::set<std::string> baselines;
+  for (const Scenario& scenario : scenarios) {
+    has_2psl = has_2psl || scenario.partitioner == "2PS-L";
+    if (scenario.partitioner != "2PS-L") {
+      baselines.insert(scenario.partitioner);
+    }
+    EXPECT_NE(FindScenario(scenario.name), nullptr);
+  }
+  EXPECT_TRUE(has_2psl);
+  EXPECT_GE(baselines.size(), 3u);
+  EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
+}
+
+TEST(RunnerTest, EndToEndScenarioPopulatesFiniteMetrics) {
+  const Scenario* scenario = FindScenario("2psl_ok_k32");
+  ASSERT_NE(scenario, nullptr);
+  RunScenarioOptions options;
+  options.extra_scale_shift = 4;  // keep the unit test in milliseconds
+  auto record = RunScenario(*scenario, options);
+  ASSERT_TRUE(record.ok()) << record.status();
+
+  EXPECT_EQ(record->scenario, scenario->name);
+  EXPECT_EQ(record->partitioner, "2PS-L");
+  EXPECT_EQ(record->k, 32u);
+  EXPECT_EQ(record->scale_shift, scenario->scale_shift + 4);
+  for (const char* name : {"seconds", "replication_factor", "measured_alpha",
+                           "state_bytes", "num_edges", "peak_rss_bytes"}) {
+    const double* value = record->FindMetric(name);
+    ASSERT_NE(value, nullptr) << name;
+    EXPECT_TRUE(std::isfinite(*value)) << name;
+    EXPECT_GE(*value, 0.0) << name;
+  }
+  EXPECT_GE(*record->FindMetric("replication_factor"), 1.0);
+  EXPECT_GT(*record->FindMetric("num_edges"), 0.0);
+  EXPECT_GT(*record->FindMetric("peak_rss_bytes"), 0.0);
+  // The 2PS partitioners account at least one named phase.
+  bool has_phase = false;
+  for (const auto& [name, value] : record->metrics) {
+    has_phase = has_phase || name.starts_with("phase_seconds/");
+  }
+  EXPECT_TRUE(has_phase);
+
+  // A fresh run of the same pinned scenario reproduces every
+  // deterministic metric bit-for-bit — the property the baseline gate
+  // stands on.
+  auto again = RunScenario(*scenario, options);
+  ASSERT_TRUE(again.ok()) << again.status();
+  for (const char* name :
+       {"replication_factor", "measured_alpha", "num_edges"}) {
+    EXPECT_EQ(*record->FindMetric(name), *again->FindMetric(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace benchkit
+}  // namespace tpsl

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "util/logging.h"
 #include "util/memory.h"
@@ -164,6 +166,66 @@ TEST(MemoryTest, RssIsReported) {
   // for a running process.
   EXPECT_GT(CurrentRssBytes(), 0u);
   EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);
+}
+
+TEST(MemoryTest, GetrusageMaxRssIsReported) {
+  // getrusage is POSIX and works even where /proc is masked off.
+  const uint64_t max_rss = GetrusageMaxRssBytes();
+  EXPECT_GT(max_rss, 0u);
+  // Sanity bounds: bigger than a page, smaller than a terabyte.
+  EXPECT_GE(max_rss, 4096u);
+  EXPECT_LT(max_rss, uint64_t{1} << 40);
+}
+
+TEST(MemoryTest, PeakRssTracksAllocationHighWaterMark) {
+  const uint64_t before = PeakRssBytes();
+  {
+    // Touch every page so the allocation actually becomes resident.
+    std::vector<char> block(32 << 20);
+    for (size_t i = 0; i < block.size(); i += 4096) {
+      block[i] = static_cast<char>(i);
+    }
+    // Defeat dead-store elimination of the whole block.
+    volatile char sink = block[block.size() - 1];
+    (void)sink;
+  }
+  const uint64_t current = CurrentRssBytes();
+  const uint64_t peak = PeakRssBytes();
+  // The high-water mark survives the deallocation and never reads
+  // below what is resident right now.
+  EXPECT_GE(peak, before);
+  EXPECT_GE(peak, current);
+  EXPECT_GE(peak, uint64_t{32 << 20});
+}
+
+TEST(MemoryTest, ResetPeakRssScopesTheHighWaterMark) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "sanitizer allocators keep freed pages resident";
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  GTEST_SKIP() << "sanitizer allocators keep freed pages resident";
+#endif
+#endif
+  // Inflate the peak well above steady state, then reset: the
+  // high-water mark must come back down near the current RSS instead
+  // of sticking at the lifetime maximum.
+  {
+    std::vector<char> block(64 << 20);
+    for (size_t i = 0; i < block.size(); i += 4096) {
+      block[i] = static_cast<char>(i);
+    }
+    volatile char sink = block[block.size() - 1];
+    (void)sink;
+  }
+  const uint64_t lifetime_peak = PeakRssBytes();
+  if (!ResetPeakRss()) {
+    GTEST_SKIP() << "/proc/self/clear_refs not writable here";
+  }
+  const uint64_t scoped_peak = PeakRssBytes();
+  EXPECT_GT(scoped_peak, 0u);
+  // The freed 64 MiB block must no longer count against the peak.
+  EXPECT_LT(scoped_peak, lifetime_peak);
 }
 
 TEST(LoggingTest, SeverityThresholdRoundtrips) {

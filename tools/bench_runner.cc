@@ -1,0 +1,251 @@
+// benchkit driver: turns the pinned scenario registry into emitted
+// JSON perf records and a CI-gradeable baseline diff.
+//
+//   bench_runner --list                      enumerate pinned scenarios
+//   bench_runner --emit [--out=DIR]          run + write BENCH_<name>.json
+//   bench_runner --check=DIR [--out=DIR]     run, diff against baselines in
+//                                            DIR, exit 1 on regression
+//   bench_runner --smoke                     tiny run of every scenario;
+//                                            verifies metrics, no baselines
+//
+//   --scenario=NAME   restrict --emit/--check/--smoke to one scenario
+//                     (repeatable)
+//
+// To (re)pin baselines after an intentional perf or quality change:
+//   bench_runner --emit --out=bench/baselines && git diff bench/baselines
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchkit/comparator.h"
+#include "benchkit/record.h"
+#include "benchkit/runner.h"
+#include "benchkit/scenario.h"
+#include "util/status.h"
+
+namespace {
+
+using tpsl::benchkit::BenchRecord;
+using tpsl::benchkit::ComparisonReport;
+using tpsl::benchkit::PinnedScenarios;
+using tpsl::benchkit::RecordFileName;
+using tpsl::benchkit::RunScenario;
+using tpsl::benchkit::RunScenarioOptions;
+using tpsl::benchkit::Scenario;
+
+struct Options {
+  enum class Mode { kNone, kList, kEmit, kCheck, kSmoke } mode = Mode::kNone;
+  std::string baseline_dir;              // --check
+  std::string out_dir;                   // --emit/--check output
+  std::vector<std::string> scenarios;    // --scenario filters
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--list | --emit | --check=BASELINE_DIR | --smoke)"
+               " [--out=DIR] [--scenario=NAME ...]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *value = arg + len + 1;
+  return true;
+}
+
+/// The scenarios selected by --scenario filters (all when none given).
+/// Returns false on an unknown name.
+bool SelectScenarios(const Options& options, std::vector<Scenario>* selected) {
+  if (options.scenarios.empty()) {
+    *selected = PinnedScenarios();
+    return true;
+  }
+  for (const std::string& name : options.scenarios) {
+    const Scenario* scenario = tpsl::benchkit::FindScenario(name);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (see --list)\n",
+                   name.c_str());
+      return false;
+    }
+    selected->push_back(*scenario);
+  }
+  return true;
+}
+
+int ListScenarios() {
+  std::printf("%-16s %-10s %-8s %5s %6s %6s  %s\n", "name", "partitioner",
+              "dataset", "k", "shift", "seed", "description");
+  for (const Scenario& s : PinnedScenarios()) {
+    std::printf("%-16s %-10s %-8s %5u %6d %6llu  %s\n", s.name.c_str(),
+                s.partitioner.c_str(), s.dataset.c_str(), s.k, s.scale_shift,
+                static_cast<unsigned long long>(s.seed),
+                s.description.c_str());
+  }
+  return 0;
+}
+
+/// Runs the selection, printing one progress line per scenario.
+bool RunAll(const std::vector<Scenario>& scenarios,
+            const RunScenarioOptions& run_options,
+            std::vector<BenchRecord>* records) {
+  for (const Scenario& scenario : scenarios) {
+    std::fprintf(stderr, "running %-16s ...", scenario.name.c_str());
+    auto record = RunScenario(scenario, run_options);
+    if (!record.ok()) {
+      std::fprintf(stderr, " failed: %s\n",
+                   record.status().ToString().c_str());
+      return false;
+    }
+    const double* seconds = record->FindMetric("seconds");
+    std::fprintf(stderr, " %.3fs\n", seconds != nullptr ? *seconds : 0.0);
+    records->push_back(std::move(record).value());
+  }
+  return true;
+}
+
+bool WriteRecords(const std::vector<BenchRecord>& records,
+                  const std::string& out_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  for (const BenchRecord& record : records) {
+    const std::string path =
+        (std::filesystem::path(out_dir) / RecordFileName(record.scenario))
+            .string();
+    const tpsl::Status status = WriteRecordFile(record, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return true;
+}
+
+int Emit(const Options& options) {
+  std::vector<Scenario> scenarios;
+  if (!SelectScenarios(options, &scenarios)) {
+    return 2;
+  }
+  std::vector<BenchRecord> records;
+  if (!RunAll(scenarios, {}, &records)) {
+    return 1;
+  }
+  return WriteRecords(records, options.out_dir.empty() ? "." : options.out_dir)
+             ? 0
+             : 1;
+}
+
+int Check(const Options& options) {
+  std::vector<Scenario> scenarios;
+  if (!SelectScenarios(options, &scenarios)) {
+    return 2;
+  }
+  auto baselines = tpsl::benchkit::ReadRecordDir(options.baseline_dir);
+  if (!baselines.ok()) {
+    std::fprintf(stderr, "%s\n", baselines.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<BenchRecord> records;
+  if (!RunAll(scenarios, {}, &records)) {
+    return 1;
+  }
+  if (!options.out_dir.empty() && !WriteRecords(records, options.out_dir)) {
+    return 1;
+  }
+  const ComparisonReport report =
+      tpsl::benchkit::CompareRecords(*baselines, records);
+  std::printf("%s", report.ToString().c_str());
+  return report.passed ? 0 : 1;
+}
+
+int Smoke(const Options& options) {
+  std::vector<Scenario> scenarios;
+  if (!SelectScenarios(options, &scenarios)) {
+    return 2;
+  }
+  // Shrink far below the pinned scale: the smoke run exercises the
+  // subsystem end to end in tier-1 ctest, it does not measure.
+  RunScenarioOptions run_options;
+  run_options.extra_scale_shift = 3;
+  run_options.repeats = 1;  // smoke exercises the path, it doesn't time
+  std::vector<BenchRecord> records;
+  if (!RunAll(scenarios, run_options, &records)) {
+    return 1;
+  }
+  const char* required[] = {"seconds", "replication_factor", "measured_alpha",
+                            "state_bytes", "num_edges", "peak_rss_bytes"};
+  bool ok = true;
+  for (const BenchRecord& record : records) {
+    for (const char* name : required) {
+      const double* value = record.FindMetric(name);
+      if (value == nullptr || !std::isfinite(*value)) {
+        std::fprintf(stderr, "smoke: %s metric '%s' missing or non-finite\n",
+                     record.scenario.c_str(), name);
+        ok = false;
+      }
+    }
+  }
+  std::printf("smoke: %zu scenarios ran, metrics %s\n", records.size(),
+              ok ? "ok" : "BROKEN");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (std::strcmp(arg, "--list") == 0) {
+      options.mode = Options::Mode::kList;
+    } else if (std::strcmp(arg, "--emit") == 0) {
+      options.mode = Options::Mode::kEmit;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      options.mode = Options::Mode::kSmoke;
+    } else if (ParseFlag(arg, "--check", &value)) {
+      options.mode = Options::Mode::kCheck;
+      options.baseline_dir = value;
+    } else if (std::strcmp(arg, "--check") == 0 && i + 1 < argc) {
+      options.mode = Options::Mode::kCheck;
+      options.baseline_dir = argv[++i];
+    } else if (ParseFlag(arg, "--out", &value)) {
+      options.out_dir = value;
+    } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+      options.out_dir = argv[++i];
+    } else if (ParseFlag(arg, "--scenario", &value)) {
+      options.scenarios.push_back(value);
+    } else if (std::strcmp(arg, "--scenario") == 0 && i + 1 < argc) {
+      options.scenarios.push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+  switch (options.mode) {
+    case Options::Mode::kList:
+      return ListScenarios();
+    case Options::Mode::kEmit:
+      return Emit(options);
+    case Options::Mode::kCheck:
+      return Check(options);
+    case Options::Mode::kSmoke:
+      return Smoke(options);
+    case Options::Mode::kNone:
+      break;
+  }
+  return Usage(argv[0]);
+}
