@@ -92,6 +92,14 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric) {
     return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
             .informational = true};
   }
+  if (metric == "edges_per_second" || metric == "mb_per_second" ||
+      metric == "plain_seconds" || metric == "generate_seconds") {
+    // Throughput diagnostics from the ingest scenarios: pure
+    // derivatives of wall time on CI hardware. The time gate is
+    // "seconds"; these are reported for humans reading the records.
+    return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
+            .informational = true};
+  }
   if (metric == "replication_factor" || metric == "measured_alpha") {
     // Deterministic given (code, seed); 2% absorbs cross-platform
     // floating-point ordering differences, nothing more.

@@ -13,6 +13,15 @@ namespace benchkit {
 
 StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
                                   const RunScenarioOptions& options) {
+  if (scenario.kind != ScenarioKind::kInMemory) {
+    // Disk-backed kinds live in the ingest layer (which depends on
+    // benchkit, not the other way around); tools/bench_runner routes
+    // every kind through ingest::RunScenarioWithIngest.
+    return Status::FailedPrecondition(
+        "scenario '" + scenario.name +
+        "' streams from disk; run it through the ingest-aware runner "
+        "(ingest::RunScenarioWithIngest / tools/bench_runner)");
+  }
   const int shift = scenario.scale_shift + options.extra_scale_shift;
   // Scope the RSS high-water mark to this scenario; without the reset
   // every scenario after the first would inherit the largest earlier

@@ -8,6 +8,22 @@
 namespace tpsl {
 namespace benchkit {
 
+/// Where a scenario's edges come from and what it measures.
+enum class ScenarioKind {
+  /// Materialize the dataset in RAM and partition it (the original
+  /// benchkit path). `dataset` names a graph/datasets Table III code.
+  kInMemory,
+  /// Stream the dataset from disk through the ingest layer's
+  /// prefetching reader and partition out-of-core. `dataset` names an
+  /// ingest catalog recipe (bench/catalog.json); scale_shift is
+  /// ignored (the recipe pins the size).
+  kDiskPartition,
+  /// Ingest throughput: full prefetched scans of the on-disk dataset,
+  /// no partitioning. `dataset` names a catalog recipe; `partitioner`
+  /// and `k` are placeholders for record identity.
+  kIngestScan,
+};
+
 /// One pinned benchmark configuration: a named, seeded synthetic-graph
 /// × partitioner × k combination. Everything that affects the measured
 /// numbers is in the struct, so a scenario re-run on the same code is
@@ -17,14 +33,19 @@ struct Scenario {
   std::string name;         // stable id; keys the baseline file name
   std::string description;  // one line for --list
   std::string partitioner;  // baselines/registry evaluation name
-  std::string dataset;      // graph/datasets Table III code
+  std::string dataset;      // graph/datasets Table III code, or the
+                            // ingest catalog recipe for disk kinds
   uint32_t k = 32;
   /// Dataset shrink relative to the default bench size, pinned per
   /// scenario (deliberately independent of the TPSL_SCALE_SHIFT
   /// environment knob, which would unpin the baseline).
   int scale_shift = 2;
   uint64_t seed = 42;  // PartitionConfig seed
+  ScenarioKind kind = ScenarioKind::kInMemory;
 };
+
+/// Short label for --list output ("memory", "disk", "ingest").
+const char* ScenarioKindLabel(ScenarioKind kind);
 
 /// The pinned perf-tracking roster: 2PS-L on diverse graph families
 /// plus the headline streaming and in-memory baselines, all at a

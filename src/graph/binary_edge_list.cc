@@ -5,6 +5,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/logging.h"
+
 namespace tpsl {
 
 Status WriteBinaryEdgeList(const std::string& path,
@@ -87,23 +89,51 @@ BinaryFileEdgeStream::~BinaryFileEdgeStream() {
 }
 
 Status BinaryFileEdgeStream::Reset() {
+  // The error is sticky: once a pass failed, every later pass would
+  // silently read a different (shorter or corrupt) graph, so refuse.
+  TPSL_RETURN_IF_ERROR(status_);
   if (std::fseek(file_, 0, SEEK_SET) != 0) {
-    return Status::IoError("fseek failed");
+    status_ = Status::IoError("fseek failed");
+    return status_;
   }
   buffer_filled_ = 0;
   buffer_pos_ = 0;
+  pass_delivered_ = 0;
   return Status::OK();
 }
 
 size_t BinaryFileEdgeStream::Next(Edge* out, size_t capacity) {
+  if (!status_.ok()) {
+    return 0;
+  }
   size_t delivered = 0;
   while (delivered < capacity) {
     if (buffer_pos_ == buffer_filled_) {
       buffer_filled_ =
           std::fread(buffer_.data(), sizeof(Edge), buffer_.size(), file_);
       buffer_pos_ = 0;
+      if (buffer_filled_ < buffer_.size() && std::ferror(file_) != 0) {
+        status_ = Status::IoError("read error after " +
+                                  std::to_string(pass_delivered_ + delivered +
+                                                 buffer_filled_) +
+                                  " edges: " + std::strerror(errno));
+        TPSL_LOG(Error) << "BinaryFileEdgeStream: " << status_.message();
+        buffer_filled_ = 0;
+        return 0;
+      }
       if (buffer_filled_ == 0) {
-        break;  // End of file.
+        // End of file — but is it the *right* end? A file truncated
+        // after Open() hits EOF early without ever setting ferror.
+        if (pass_delivered_ + delivered != num_edges_) {
+          status_ = Status::IoError(
+              "file ended after " +
+              std::to_string(pass_delivered_ + delivered) + " of " +
+              std::to_string(num_edges_) +
+              " edges (truncated while reading?)");
+          TPSL_LOG(Error) << "BinaryFileEdgeStream: " << status_.message();
+          return 0;
+        }
+        break;
       }
     }
     const size_t n =
@@ -113,6 +143,7 @@ size_t BinaryFileEdgeStream::Next(Edge* out, size_t capacity) {
     buffer_pos_ += n;
     delivered += n;
   }
+  pass_delivered_ += delivered;
   return delivered;
 }
 

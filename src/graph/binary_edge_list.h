@@ -42,6 +42,13 @@ class BinaryFileEdgeStream : public EdgeStream {
   size_t Next(Edge* out, size_t capacity) override;
   uint64_t NumEdgesHint() const override { return num_edges_; }
 
+  /// Sticky I/O state: a read error (ferror) or a file that ends short
+  /// of the edge count observed at Open() — e.g. truncated under us —
+  /// latches an error here. Next() then returns 0 and Reset() refuses
+  /// to restart, so no consumer can mistake a failing file for a
+  /// smaller graph.
+  Status Health() const override { return status_; }
+
  private:
   BinaryFileEdgeStream(std::FILE* file, uint64_t num_edges,
                        size_t buffer_edges);
@@ -51,6 +58,10 @@ class BinaryFileEdgeStream : public EdgeStream {
   std::vector<Edge> buffer_;
   size_t buffer_filled_ = 0;
   size_t buffer_pos_ = 0;
+  /// Edges delivered since the last Reset(); checked against
+  /// num_edges_ at EOF to detect truncation fread cannot see.
+  uint64_t pass_delivered_ = 0;
+  Status status_;
 };
 
 }  // namespace tpsl

@@ -32,6 +32,14 @@ class EdgeStream {
   /// Total number of edges in the stream, if known up front (binary
   /// files and in-memory streams know it). Returns 0 when unknown.
   virtual uint64_t NumEdgesHint() const { return 0; }
+
+  /// Sticky stream health. Next() has no error channel (it returns a
+  /// count), so implementations that can fail mid-pass — file streams
+  /// hitting a read error or a truncated file — latch the failure here
+  /// and return 0 from Next() thereafter, making the early end of
+  /// stream distinguishable from EOF. ForEachEdge checks it after
+  /// every pass; consumers with manual Next() loops must do the same.
+  virtual Status Health() const { return Status::OK(); }
 };
 
 /// Convenience: performs one full pass, invoking `fn(edge)` per edge.
@@ -47,7 +55,8 @@ Status ForEachEdge(EdgeStream& stream, Fn&& fn) {
       fn(buffer[i]);
     }
   }
-  return Status::OK();
+  // A failed stream ends early and looks like EOF above; surface it.
+  return stream.Health();
 }
 
 }  // namespace tpsl

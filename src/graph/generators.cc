@@ -8,16 +8,19 @@
 #include "util/random.h"
 
 namespace tpsl {
+namespace {
 
-std::vector<Edge> GenerateRmat(const RmatConfig& config) {
+/// Runs the R-MAT edge loop, invoking `emit(Edge)` per kept edge. Both
+/// public flavors share this so their RNG walk — and therefore their
+/// edge sequence — is identical by construction.
+template <typename EmitFn>
+void RmatEdgeLoop(const RmatConfig& config, EmitFn&& emit) {
   TPSL_CHECK(config.scale > 0 && config.scale < 31);
   TPSL_CHECK(config.a + config.b + config.c <= 1.0 + 1e-9);
   const VertexId n = VertexId{1} << config.scale;
   const uint64_t m = static_cast<uint64_t>(config.edge_factor) * n;
   SplitMix64 rng(config.seed);
 
-  std::vector<Edge> edges;
-  edges.reserve(m);
   const double ab = config.a + config.b;
   const double abc = config.a + config.b + config.c;
   for (uint64_t i = 0; i < m; ++i) {
@@ -37,20 +40,14 @@ std::vector<Edge> GenerateRmat(const RmatConfig& config) {
     if (config.remove_self_loops && u == v) {
       continue;
     }
-    edges.push_back(Edge{u, v});
+    emit(Edge{u, v});
   }
-  if (config.deduplicate) {
-    DeduplicateUndirected(&edges);
-    ShuffleEdges(&edges, config.seed + 1);
-  }
-  return edges;
 }
 
-std::vector<Edge> GenerateErdosRenyi(const ErdosRenyiConfig& config) {
+template <typename EmitFn>
+void ErdosRenyiEdgeLoop(const ErdosRenyiConfig& config, EmitFn&& emit) {
   TPSL_CHECK(config.num_vertices > 1);
   SplitMix64 rng(config.seed);
-  std::vector<Edge> edges;
-  edges.reserve(config.num_edges);
   for (uint64_t i = 0; i < config.num_edges; ++i) {
     const VertexId u =
         static_cast<VertexId>(rng.NextBounded(config.num_vertices));
@@ -60,9 +57,77 @@ std::vector<Edge> GenerateErdosRenyi(const ErdosRenyiConfig& config) {
         v = static_cast<VertexId>(rng.NextBounded(config.num_vertices));
       }
     }
-    edges.push_back(Edge{u, v});
+    emit(Edge{u, v});
+  }
+}
+
+/// Adapts a per-edge emitter into chunk-sink deliveries: accumulates
+/// into one bounded buffer and flushes it whenever full. The buffer is
+/// the generator's entire memory footprint.
+class ChunkBuffer {
+ public:
+  ChunkBuffer(size_t chunk_edges, const EdgeChunkSink& sink)
+      : chunk_edges_(chunk_edges), sink_(sink) {
+    TPSL_CHECK(chunk_edges > 0);
+    chunk_.reserve(chunk_edges);
+  }
+
+  void operator()(const Edge& edge) {
+    chunk_.push_back(edge);
+    // Compare against the requested bound, not capacity(): reserve()
+    // may over-allocate, and the contract is chunks <= chunk_edges.
+    if (chunk_.size() == chunk_edges_) {
+      Flush();
+    }
+  }
+
+  void Flush() {
+    if (!chunk_.empty()) {
+      sink_(chunk_.data(), chunk_.size());
+      chunk_.clear();
+    }
+  }
+
+ private:
+  const size_t chunk_edges_;
+  const EdgeChunkSink& sink_;
+  std::vector<Edge> chunk_;
+};
+
+}  // namespace
+
+std::vector<Edge> GenerateRmat(const RmatConfig& config) {
+  TPSL_CHECK(config.scale > 0 && config.scale < 31);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<uint64_t>(config.edge_factor)
+                << config.scale);
+  RmatEdgeLoop(config, [&](const Edge& e) { edges.push_back(e); });
+  if (config.deduplicate) {
+    DeduplicateUndirected(&edges);
+    ShuffleEdges(&edges, config.seed + 1);
   }
   return edges;
+}
+
+void GenerateRmatChunked(const RmatConfig& config, size_t chunk_edges,
+                         const EdgeChunkSink& sink) {
+  ChunkBuffer buffer(chunk_edges, sink);
+  RmatEdgeLoop(config, [&](const Edge& e) { buffer(e); });
+  buffer.Flush();
+}
+
+std::vector<Edge> GenerateErdosRenyi(const ErdosRenyiConfig& config) {
+  std::vector<Edge> edges;
+  edges.reserve(config.num_edges);
+  ErdosRenyiEdgeLoop(config, [&](const Edge& e) { edges.push_back(e); });
+  return edges;
+}
+
+void GenerateErdosRenyiChunked(const ErdosRenyiConfig& config,
+                               size_t chunk_edges, const EdgeChunkSink& sink) {
+  ChunkBuffer buffer(chunk_edges, sink);
+  ErdosRenyiEdgeLoop(config, [&](const Edge& e) { buffer(e); });
+  buffer.Flush();
 }
 
 std::vector<Edge> GenerateBarabasiAlbert(const BarabasiAlbertConfig& config) {
@@ -102,8 +167,11 @@ std::vector<Edge> GenerateBarabasiAlbert(const BarabasiAlbertConfig& config) {
   return edges;
 }
 
-std::vector<Edge> GeneratePlantedPartition(
-    const PlantedPartitionConfig& config) {
+namespace {
+
+template <typename EmitFn>
+void PlantedPartitionEdgeLoop(const PlantedPartitionConfig& config,
+                              EmitFn&& emit) {
   TPSL_CHECK(config.num_communities > 1);
   TPSL_CHECK(config.num_vertices >= config.num_communities);
   TPSL_CHECK(config.intra_fraction >= 0.0 && config.intra_fraction <= 1.0);
@@ -134,8 +202,6 @@ std::vector<Edge> GeneratePlantedPartition(
   }
   community_start[config.num_communities] = config.num_vertices;
 
-  std::vector<Edge> edges;
-  edges.reserve(config.num_edges);
   for (uint64_t i = 0; i < config.num_edges; ++i) {
     const bool intra = rng.NextDouble() < config.intra_fraction;
     VertexId u, v;
@@ -161,9 +227,26 @@ std::vector<Edge> GeneratePlantedPartition(
     if (config.remove_self_loops && u == v) {
       v = (v + 1 == config.num_vertices) ? 0 : v + 1;
     }
-    edges.push_back(Edge{u, v});
+    emit(Edge{u, v});
   }
+}
+
+}  // namespace
+
+std::vector<Edge> GeneratePlantedPartition(
+    const PlantedPartitionConfig& config) {
+  std::vector<Edge> edges;
+  edges.reserve(config.num_edges);
+  PlantedPartitionEdgeLoop(config, [&](const Edge& e) { edges.push_back(e); });
   return edges;
+}
+
+void GeneratePlantedPartitionChunked(const PlantedPartitionConfig& config,
+                                     size_t chunk_edges,
+                                     const EdgeChunkSink& sink) {
+  ChunkBuffer buffer(chunk_edges, sink);
+  PlantedPartitionEdgeLoop(config, [&](const Edge& e) { buffer(e); });
+  buffer.Flush();
 }
 
 std::vector<Edge> GenerateSocialNetwork(const SocialNetworkConfig& config) {

@@ -2,6 +2,7 @@
 #define TPSL_GRAPH_GENERATORS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/types.h"
@@ -13,6 +14,23 @@ namespace tpsl {
 /// paper's public datasets (OK/IT/TW/FR/UK/GSH/WDC), which are not
 /// available offline; see DESIGN.md §4 for the substitution argument.
 /// All generators are pure functions of their config (seed included).
+///
+/// The R-MAT, Erdős–Rényi and planted-partition generators draw each
+/// edge independently, so they come in two flavors: the classic
+/// materializing form (std::vector<Edge>) and a chunk-callback form
+/// that emits consecutive runs of edges through an EdgeChunkSink with
+/// memory bounded by the chunk size. Both flavors walk the same RNG
+/// sequence, so for identical configs they produce identical edge
+/// streams — the out-of-core ingest layer (src/ingest) relies on that
+/// equivalence to generate multi-GB datasets straight to disk.
+/// Barabási–Albert and the social-network generator are inherently
+/// materializing (preferential attachment keeps an O(|E|) endpoint
+/// list; the social generator globally shuffles) and only exist in
+/// vector form.
+
+/// Receives consecutive chunks of generated edges in stream order.
+/// The pointed-to array is only valid for the duration of the call.
+using EdgeChunkSink = std::function<void(const Edge* edges, size_t count)>;
 
 /// R-MAT (recursive matrix) generator — produces the power-law degree
 /// skew characteristic of social networks (OK, TW, FR). Standard
@@ -30,6 +48,13 @@ struct RmatConfig {
 
 std::vector<Edge> GenerateRmat(const RmatConfig& config);
 
+/// Chunked R-MAT: emits the same edge sequence as GenerateRmat through
+/// `sink` in chunks of at most `chunk_edges`, holding only one chunk in
+/// memory. `config.deduplicate` is ignored (deduplication requires the
+/// full edge set; use the materializing form for that).
+void GenerateRmatChunked(const RmatConfig& config, size_t chunk_edges,
+                         const EdgeChunkSink& sink);
+
 /// Erdős–Rényi G(n, m): m uniform random edges. No skew, no community
 /// structure — the adversarial case for clustering-based partitioning.
 struct ErdosRenyiConfig {
@@ -40,6 +65,10 @@ struct ErdosRenyiConfig {
 };
 
 std::vector<Edge> GenerateErdosRenyi(const ErdosRenyiConfig& config);
+
+/// Chunked Erdős–Rényi: identical edge sequence, bounded memory.
+void GenerateErdosRenyiChunked(const ErdosRenyiConfig& config,
+                               size_t chunk_edges, const EdgeChunkSink& sink);
 
 /// Barabási–Albert preferential attachment: power-law degrees with a
 /// strict lower bound (every vertex has degree >= attachment).
@@ -66,6 +95,12 @@ struct PlantedPartitionConfig {
 };
 
 std::vector<Edge> GeneratePlantedPartition(const PlantedPartitionConfig& config);
+
+/// Chunked planted partition: identical edge sequence, bounded memory
+/// (the community-range table is O(num_communities), not O(|E|)).
+void GeneratePlantedPartitionChunked(const PlantedPartitionConfig& config,
+                                     size_t chunk_edges,
+                                     const EdgeChunkSink& sink);
 
 /// Social-network generator: a relaxed caveman graph plus a hub layer.
 /// Real social graphs (OK, FR, WI) are locally dense (friend circles =

@@ -1,0 +1,79 @@
+#ifndef TPSL_INGEST_CATALOG_H_
+#define TPSL_INGEST_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "benchkit/json.h"
+#include "ingest/external_generator.h"
+#include "util/status.h"
+
+namespace tpsl {
+namespace ingest {
+
+/// One catalog dataset: a recipe plus pinned expectations. The pinned
+/// edge count and checksum make the catalog a contract — a generator
+/// whose output drifts (seed handling change, RNG change, edge-loop
+/// reorder) fails get-or-generate loudly instead of silently shifting
+/// every disk-backed benchmark. Empty expectations mean "not pinned
+/// yet"; `tools/ingest --pin` fills them in.
+struct CatalogEntry {
+  DatasetRecipe recipe;
+  uint64_t expected_edges = 0;       // 0 = unpinned
+  std::string expected_checksum;     // "" = unpinned
+
+  bool operator==(const CatalogEntry& other) const = default;
+};
+
+/// The dataset catalog, persisted as a JSON file (the checked-in
+/// source of truth is bench/catalog.json; CI keys its dataset cache on
+/// that file's hash).
+struct Catalog {
+  std::vector<CatalogEntry> entries;
+
+  const CatalogEntry* Find(const std::string& name) const;
+};
+
+StatusOr<Catalog> LoadCatalog(const std::string& path);
+Status SaveCatalog(const Catalog& catalog, const std::string& path);
+
+/// JSON forms, exposed for the manifest sidecars and tests.
+benchkit::JsonValue CatalogEntryToJson(const CatalogEntry& entry);
+StatusOr<CatalogEntry> CatalogEntryFromJson(const benchkit::JsonValue& json);
+
+/// Paths inside a dataset directory: "<dir>/<name>.bin" and its
+/// manifest sidecar "<dir>/<name>.manifest.json".
+std::string DatasetPath(const std::string& dir, const std::string& name);
+std::string ManifestPath(const std::string& dir, const std::string& name);
+
+struct EnsureResult {
+  std::string path;          // the dataset file
+  bool generated = false;    // false = served from cache
+  uint64_t num_edges = 0;
+  uint64_t file_bytes = 0;
+  std::string checksum;
+  double generate_seconds = 0.0;  // 0 when cached
+};
+
+/// Get-or-generate: returns the dataset file for `entry` inside `dir`
+/// (created if missing). The cached copy is reused only when its
+/// manifest sidecar exists, records the same recipe, matches the
+/// file's size, and agrees with the entry's pinned expectations;
+/// anything else — missing file, recipe drift, truncation, stale
+/// pin — regenerates. A freshly generated file that contradicts a
+/// pinned expectation is an error (generator drift), never silently
+/// accepted.
+StatusOr<EnsureResult> EnsureDataset(const CatalogEntry& entry,
+                                     const std::string& dir,
+                                     size_t chunk_edges = 1 << 20);
+
+/// Fully re-checksums the on-disk file against the entry's pinned
+/// checksum (get-or-generate trusts manifests for speed; this does
+/// not). Unpinned entries and missing files are errors.
+Status VerifyDataset(const CatalogEntry& entry, const std::string& dir);
+
+}  // namespace ingest
+}  // namespace tpsl
+
+#endif  // TPSL_INGEST_CATALOG_H_

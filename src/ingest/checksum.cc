@@ -1,0 +1,48 @@
+#include "ingest/checksum.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tpsl {
+namespace ingest {
+
+void Fnv1a64::Update(const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t state = state_;
+  for (size_t i = 0; i < bytes; ++i) {
+    state ^= p[i];
+    state *= 0x100000001b3ULL;
+  }
+  state_ = state;
+}
+
+std::string FormatChecksum(uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "fnv1a64:%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+StatusOr<std::string> ChecksumFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open: " + path + ": " +
+                            std::strerror(errno));
+  }
+  Fnv1a64 hash;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    hash.Update(buffer, n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IoError("read failed while checksumming: " + path);
+  }
+  return FormatChecksum(hash.digest());
+}
+
+}  // namespace ingest
+}  // namespace tpsl

@@ -1,0 +1,162 @@
+#include "ingest/prefetching_edge_stream.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tpsl {
+namespace ingest {
+
+PrefetchingEdgeStream::PrefetchingEdgeStream(
+    std::unique_ptr<EdgeStream> inner, size_t buffer_edges)
+    : inner_(std::move(inner)), buffer_edges_(buffer_edges) {
+  TPSL_CHECK(inner_ != nullptr);
+  TPSL_CHECK(buffer_edges_ > 0);
+  slots_[0].edges.resize(buffer_edges_);
+  slots_[1].edges.resize(buffer_edges_);
+}
+
+PrefetchingEdgeStream::~PrefetchingEdgeStream() { StopWorker(); }
+
+void PrefetchingEdgeStream::StartWorker() {
+  worker_ = std::thread(&PrefetchingEdgeStream::WorkerLoop, this);
+  worker_running_ = true;
+}
+
+void PrefetchingEdgeStream::StopWorker() {
+  if (!worker_running_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  slot_free_cv_.notify_all();
+  slot_ready_cv_.notify_all();
+  worker_.join();
+  stop_ = false;
+  worker_running_ = false;
+}
+
+void PrefetchingEdgeStream::WorkerLoop() {
+  size_t produce_slot = 0;
+  bool eof = false;
+  while (!eof) {
+    Slot& slot = slots_[produce_slot];
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      slot_free_cv_.wait(lock, [&] { return stop_ || !slot.ready; });
+      if (stop_) {
+        return;
+      }
+    }
+    // Fill outside the lock: the consumer never touches a slot that is
+    // not ready, and the inner stream is worker-owned during a pass.
+    size_t filled = 0;
+    while (filled < buffer_edges_) {
+      const size_t n = inner_->Next(slot.edges.data() + filled,
+                                    buffer_edges_ - filled);
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      filled += n;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot.filled = filled;
+      slot.ready = true;
+      if (eof) {
+        producer_done_ = true;
+        // An inner failure looks like EOF (Next() == 0); capture its
+        // sticky health here so the consumer can tell the difference.
+        worker_status_ = inner_->Health();
+      }
+    }
+    slot_ready_cv_.notify_all();
+    produce_slot ^= 1;
+  }
+}
+
+Status PrefetchingEdgeStream::Reset() {
+  StopWorker();
+  for (Slot& slot : slots_) {
+    slot.filled = 0;
+    slot.ready = false;
+  }
+  producer_done_ = false;
+  worker_status_ = Status::OK();
+  consume_slot_ = 0;
+  consume_pos_ = 0;
+  consumer_holds_slot_ = false;
+  bytes_this_pass_ = 0;
+  passes_ += 1;
+  TPSL_RETURN_IF_ERROR(inner_->Reset());
+  StartWorker();
+  return Status::OK();
+}
+
+size_t PrefetchingEdgeStream::Next(Edge* out, size_t capacity) {
+  if (!worker_running_) {
+    // First use without a Reset(): the inner stream is still at its
+    // start, so just begin prefetching.
+    StartWorker();
+  }
+  size_t delivered = 0;
+  while (delivered < capacity) {
+    if (!consumer_holds_slot_) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      Slot& slot = slots_[consume_slot_];
+      slot_ready_cv_.wait(lock,
+                          [&] { return slot.ready || producer_done_; });
+      if (!slot.ready) {
+        break;  // producer finished and this slot was never filled
+      }
+      consumer_holds_slot_ = true;
+      consume_pos_ = 0;
+    }
+    Slot& slot = slots_[consume_slot_];
+    const size_t available = slot.filled - consume_pos_;
+    if (available == 0) {
+      // Hand the drained slot back and move to the other one.
+      bool done;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot.ready = false;
+        slot.filled = 0;
+        done = producer_done_;
+      }
+      slot_free_cv_.notify_all();
+      consumer_holds_slot_ = false;
+      consume_slot_ ^= 1;
+      if (done && slot.filled == 0 && !slots_[consume_slot_].ready) {
+        // Fast path out: producer is done and nothing is pending.
+        break;
+      }
+      continue;
+    }
+    const size_t n = std::min(capacity - delivered, available);
+    std::memcpy(out + delivered, slot.edges.data() + consume_pos_,
+                n * sizeof(Edge));
+    consume_pos_ += n;
+    delivered += n;
+  }
+  bytes_read_ += delivered * sizeof(Edge);
+  bytes_this_pass_ += delivered * sizeof(Edge);
+  return delivered;
+}
+
+Status PrefetchingEdgeStream::Health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!worker_status_.ok()) {
+    return worker_status_;
+  }
+  if (!worker_running_) {
+    // No pass in flight: the inner stream is safe to inspect directly.
+    return inner_->Health();
+  }
+  return Status::OK();
+}
+
+}  // namespace ingest
+}  // namespace tpsl

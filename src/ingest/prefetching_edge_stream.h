@@ -1,0 +1,99 @@
+#ifndef TPSL_INGEST_PREFETCHING_EDGE_STREAM_H_
+#define TPSL_INGEST_PREFETCHING_EDGE_STREAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/edge_stream.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+namespace ingest {
+
+/// Double-buffered, background-thread reader over any EdgeStream.
+///
+/// A worker thread keeps pulling batches from the inner stream into
+/// two fixed buffers while the consumer drains the other one, so disk
+/// I/O overlaps partitioning compute — the out-of-core configuration
+/// the paper's linear-run-time claim depends on. Memory footprint is
+/// exactly two buffers of `buffer_edges` edges, independent of graph
+/// size.
+///
+/// Composes with the rest of the stream stack: it is an EdgeStream, so
+/// it can wrap a BinaryFileEdgeStream and be wrapped by a
+/// ThrottledEdgeStream (whose virtual-I/O accounting then sees the
+/// same bytes this reader reports via bytes_read()/bytes_this_pass()).
+///
+/// Reset() stops the worker, resets the inner stream, and restarts
+/// prefetching — each pass re-reads the file, matching the paper's
+/// dropped-page-cache discipline. Inner-stream failures (see
+/// EdgeStream::Health) surface through Health() here.
+///
+/// Thread model: Next()/Reset()/Health() must be called from one
+/// consumer thread; the worker is internal.
+class PrefetchingEdgeStream : public EdgeStream {
+ public:
+  explicit PrefetchingEdgeStream(std::unique_ptr<EdgeStream> inner,
+                                 size_t buffer_edges = 256 * 1024);
+  ~PrefetchingEdgeStream() override;
+
+  PrefetchingEdgeStream(const PrefetchingEdgeStream&) = delete;
+  PrefetchingEdgeStream& operator=(const PrefetchingEdgeStream&) = delete;
+
+  Status Reset() override;
+  size_t Next(Edge* out, size_t capacity) override;
+  uint64_t NumEdgesHint() const override { return inner_->NumEdgesHint(); }
+  Status Health() const override;
+
+  /// Total bytes delivered to the consumer across all passes.
+  uint64_t bytes_read() const { return bytes_read_; }
+  /// Bytes delivered since the last Reset().
+  uint64_t bytes_this_pass() const { return bytes_this_pass_; }
+  /// Number of Reset() calls (≈ passes started).
+  uint64_t passes() const { return passes_; }
+
+ private:
+  /// One of the two ping-pong slots. `filled` is valid edges in
+  /// `edges`; `ready` flips producer -> consumer, `consumed` back.
+  struct Slot {
+    std::vector<Edge> edges;
+    size_t filled = 0;
+    bool ready = false;
+  };
+
+  void StartWorker();
+  void StopWorker();
+  void WorkerLoop();
+
+  std::unique_ptr<EdgeStream> inner_;
+  const size_t buffer_edges_;
+
+  Slot slots_[2];
+  mutable std::mutex mutex_;
+  std::condition_variable slot_ready_cv_;    // worker -> consumer
+  std::condition_variable slot_free_cv_;     // consumer -> worker
+  bool producer_done_ = false;  // worker hit EOF (or error) this pass
+  bool stop_ = false;           // tells the worker to exit
+  Status worker_status_;        // inner Health captured at pass end
+  std::thread worker_;
+  bool worker_running_ = false;
+
+  // Consumer-side cursor into the slot currently being drained.
+  size_t consume_slot_ = 0;
+  size_t consume_pos_ = 0;
+  bool consumer_holds_slot_ = false;
+
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_this_pass_ = 0;
+  uint64_t passes_ = 0;
+};
+
+}  // namespace ingest
+}  // namespace tpsl
+
+#endif  // TPSL_INGEST_PREFETCHING_EDGE_STREAM_H_

@@ -1,0 +1,194 @@
+#include "ingest/scenario_runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "baselines/registry.h"
+#include "graph/binary_edge_list.h"
+#include "ingest/catalog.h"
+#include "ingest/prefetching_edge_stream.h"
+#include "partition/runner.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace tpsl {
+namespace ingest {
+namespace {
+
+using benchkit::BenchRecord;
+using benchkit::Scenario;
+using benchkit::ScenarioKind;
+
+/// Catalog lookup + get-or-generate for the scenario's dataset.
+StatusOr<EnsureResult> EnsureScenarioDataset(const Scenario& scenario,
+                                             const ScenarioRunContext& context) {
+  TPSL_ASSIGN_OR_RETURN(const Catalog catalog,
+                        LoadCatalog(context.catalog_path));
+  const CatalogEntry* entry = catalog.Find(scenario.dataset);
+  if (entry == nullptr) {
+    return Status::NotFound("scenario '" + scenario.name +
+                            "' references dataset '" + scenario.dataset +
+                            "' which is not in " + context.catalog_path);
+  }
+  return EnsureDataset(*entry, context.dataset_dir);
+}
+
+BenchRecord MakeRecordShell(const Scenario& scenario) {
+  BenchRecord record;
+  record.scenario = scenario.name;
+  record.partitioner = scenario.partitioner;
+  record.dataset = scenario.dataset;
+  record.k = scenario.k;
+  // Disk datasets are pinned by the catalog recipe; the smoke run's
+  // extra_scale_shift deliberately does not apply.
+  record.scale_shift = scenario.scale_shift;
+  record.seed = scenario.seed;
+  return record;
+}
+
+StatusOr<std::unique_ptr<PrefetchingEdgeStream>> OpenPrefetched(
+    const std::string& path, size_t buffer_edges) {
+  TPSL_ASSIGN_OR_RETURN(std::unique_ptr<BinaryFileEdgeStream> file_stream,
+                        BinaryFileEdgeStream::Open(path));
+  return std::make_unique<PrefetchingEdgeStream>(std::move(file_stream),
+                                                 buffer_edges);
+}
+
+StatusOr<BenchRecord> RunDiskPartition(const Scenario& scenario,
+                                       const ScenarioRunContext& context) {
+  TPSL_ASSIGN_OR_RETURN(const EnsureResult dataset,
+                        EnsureScenarioDataset(scenario, context));
+  ResetPeakRss();
+  TPSL_ASSIGN_OR_RETURN(
+      std::unique_ptr<PrefetchingEdgeStream> stream,
+      OpenPrefetched(dataset.path, context.prefetch_buffer_edges));
+
+  PartitionConfig config;
+  config.num_partitions = scenario.k;
+  config.seed = scenario.seed;
+
+  const int repeats = context.options.repeats > 0 ? context.options.repeats
+                                                  : 1;
+  RunResult best;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    // Fresh partitioner per repeat (they are single-shot); the stream
+    // is reused — each pass re-reads the file, so every repeat pays
+    // full I/O, matching the paper's dropped-cache discipline.
+    TPSL_ASSIGN_OR_RETURN(std::unique_ptr<Partitioner> partitioner,
+                          MakePartitioner(scenario.partitioner));
+    TPSL_ASSIGN_OR_RETURN(RunResult result,
+                          RunPartitioner(*partitioner, *stream, config));
+    if (repeat == 0 ||
+        result.stats.TotalSeconds() < best.stats.TotalSeconds()) {
+      // Deterministic metrics are identical across repeats; keep the
+      // fastest timing like benchkit's in-memory runner.
+      std::swap(best, result);
+    }
+  }
+
+  BenchRecord record = MakeRecordShell(scenario);
+  record.SetMetric("seconds", best.stats.TotalSeconds());
+  record.SetMetric("replication_factor", best.quality.replication_factor);
+  record.SetMetric("measured_alpha", best.quality.measured_alpha);
+  record.SetMetric("state_bytes",
+                   static_cast<double>(best.stats.state_bytes));
+  record.SetMetric("num_edges", static_cast<double>(dataset.num_edges));
+  record.SetMetric("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
+  // Deterministic I/O shape: bytes per pass is the file size, and the
+  // pass count is the partitioner's streaming structure (2 for 2PS-L).
+  const double passes = static_cast<double>(stream->passes());
+  record.SetMetric("io_bytes_per_pass",
+                   passes > 0.0 ? static_cast<double>(stream->bytes_read()) /
+                                      passes
+                                : 0.0);
+  record.SetMetric("io_passes", passes / repeats);
+  for (const auto& [phase, seconds] : best.stats.phase_seconds) {
+    record.SetMetric("phase_seconds/" + phase, seconds);
+  }
+  return record;
+}
+
+StatusOr<BenchRecord> RunIngestScan(const Scenario& scenario,
+                                    const ScenarioRunContext& context) {
+  TPSL_ASSIGN_OR_RETURN(const EnsureResult dataset,
+                        EnsureScenarioDataset(scenario, context));
+  ResetPeakRss();
+
+  const int repeats = context.options.repeats > 0 ? context.options.repeats
+                                                  : 1;
+  // Baseline for comparison: the same scan without prefetching. Runs
+  // first so the prefetched number cannot be flattered by a cold page
+  // cache on the plain pass.
+  double plain_seconds = 0.0;
+  {
+    TPSL_ASSIGN_OR_RETURN(std::unique_ptr<BinaryFileEdgeStream> plain,
+                          BinaryFileEdgeStream::Open(dataset.path));
+    for (int repeat = 0; repeat < repeats; ++repeat) {
+      uint64_t count = 0;
+      WallTimer timer;
+      TPSL_RETURN_IF_ERROR(
+          ForEachEdge(*plain, [&count](const Edge&) { ++count; }));
+      const double elapsed = timer.ElapsedSeconds();
+      if (repeat == 0 || elapsed < plain_seconds) {
+        plain_seconds = elapsed;
+      }
+      if (count != dataset.num_edges) {
+        return Status::Internal("plain scan of " + dataset.path +
+                                " delivered " + std::to_string(count) +
+                                " of " + std::to_string(dataset.num_edges) +
+                                " edges");
+      }
+    }
+  }
+
+  TPSL_ASSIGN_OR_RETURN(
+      std::unique_ptr<PrefetchingEdgeStream> stream,
+      OpenPrefetched(dataset.path, context.prefetch_buffer_edges));
+  double seconds = 0.0;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    uint64_t count = 0;
+    WallTimer timer;
+    TPSL_RETURN_IF_ERROR(
+        ForEachEdge(*stream, [&count](const Edge&) { ++count; }));
+    const double elapsed = timer.ElapsedSeconds();
+    if (repeat == 0 || elapsed < seconds) {
+      seconds = elapsed;
+    }
+    if (count != dataset.num_edges) {
+      return Status::Internal("prefetched scan of " + dataset.path +
+                              " delivered " + std::to_string(count) + " of " +
+                              std::to_string(dataset.num_edges) + " edges");
+    }
+  }
+
+  BenchRecord record = MakeRecordShell(scenario);
+  record.SetMetric("seconds", seconds);
+  record.SetMetric("num_edges", static_cast<double>(dataset.num_edges));
+  record.SetMetric("file_bytes", static_cast<double>(dataset.file_bytes));
+  record.SetMetric("edges_per_second",
+                   seconds > 0.0 ? dataset.num_edges / seconds : 0.0);
+  record.SetMetric(
+      "mb_per_second",
+      seconds > 0.0 ? dataset.file_bytes / (1e6 * seconds) : 0.0);
+  record.SetMetric("plain_seconds", plain_seconds);
+  record.SetMetric("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
+  return record;
+}
+
+}  // namespace
+
+StatusOr<BenchRecord> RunScenarioWithIngest(const Scenario& scenario,
+                                            const ScenarioRunContext& context) {
+  switch (scenario.kind) {
+    case ScenarioKind::kInMemory:
+      return benchkit::RunScenario(scenario, context.options);
+    case ScenarioKind::kDiskPartition:
+      return RunDiskPartition(scenario, context);
+    case ScenarioKind::kIngestScan:
+      return RunIngestScan(scenario, context);
+  }
+  return Status::Internal("unhandled scenario kind");
+}
+
+}  // namespace ingest
+}  // namespace tpsl

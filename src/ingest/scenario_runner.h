@@ -1,0 +1,45 @@
+#ifndef TPSL_INGEST_SCENARIO_RUNNER_H_
+#define TPSL_INGEST_SCENARIO_RUNNER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "benchkit/record.h"
+#include "benchkit/runner.h"
+#include "benchkit/scenario.h"
+#include "util/status.h"
+
+namespace tpsl {
+namespace ingest {
+
+/// Everything a disk-backed scenario needs to find its bytes. The
+/// catalog file is the checked-in contract (bench/catalog.json); the
+/// dataset dir is a cache — missing datasets are generated on demand
+/// (get-or-generate), so a fresh checkout can run --check end to end.
+struct ScenarioRunContext {
+  std::string catalog_path = "bench/catalog.json";
+  std::string dataset_dir = "bench/.datasets";
+  benchkit::RunScenarioOptions options;
+  /// Per-buffer size of the double-buffered prefetching reader.
+  size_t prefetch_buffer_edges = 256 * 1024;
+};
+
+/// Kind-dispatching scenario runner: in-memory scenarios delegate to
+/// benchkit::RunScenario; kDiskPartition streams the catalog dataset
+/// through BinaryFileEdgeStream + PrefetchingEdgeStream into the
+/// partitioner; kIngestScan measures raw prefetched scan throughput
+/// (and a plain unprefetched scan for comparison).
+///
+/// Disk records add metrics on top of benchkit's usual set:
+///   kDiskPartition: "io_bytes_per_pass" (= file bytes, deterministic),
+///     "io_passes" (partitioner passes over the file, deterministic)
+///   kIngestScan: "seconds" (fastest prefetched scan), "num_edges",
+///     "file_bytes" (deterministic), "edges_per_second",
+///     "mb_per_second", "plain_seconds" (informational)
+StatusOr<benchkit::BenchRecord> RunScenarioWithIngest(
+    const benchkit::Scenario& scenario, const ScenarioRunContext& context);
+
+}  // namespace ingest
+}  // namespace tpsl
+
+#endif  // TPSL_INGEST_SCENARIO_RUNNER_H_

@@ -37,19 +37,29 @@ class ThrottledEdgeStream : public EdgeStream {
 
   Status Reset() override {
     passes_ += 1;
+    // Dropped page cache: the new pass starts its byte account at zero
+    // (the cumulative account keeps running — every pass pays full
+    // I/O cost, which is exactly the cache-drop model).
+    bytes_this_pass_ = 0;
     return inner_->Reset();
   }
 
   size_t Next(Edge* out, size_t capacity) override {
     const size_t n = inner_->Next(out, capacity);
     bytes_read_ += n * sizeof(Edge);
+    bytes_this_pass_ += n * sizeof(Edge);
     return n;
   }
 
   uint64_t NumEdgesHint() const override { return inner_->NumEdgesHint(); }
 
+  Status Health() const override { return inner_->Health(); }
+
   /// Total bytes delivered across all passes.
   uint64_t bytes_read() const { return bytes_read_; }
+
+  /// Bytes delivered since the last Reset() (current pass only).
+  uint64_t bytes_this_pass() const { return bytes_this_pass_; }
 
   /// Number of Reset() calls (≈ streaming passes started).
   uint64_t passes() const { return passes_; }
@@ -63,12 +73,23 @@ class ThrottledEdgeStream : public EdgeStream {
            static_cast<double>(profile_.bytes_per_second);
   }
 
+  /// I/O time the device needs beyond the compute time it can hide
+  /// behind: max(0, io_seconds - compute_seconds). A reader that
+  /// overlaps I/O with compute (src/ingest's PrefetchingEdgeStream)
+  /// stalls only for this remainder; Table V's conservative variant
+  /// instead reports the plain sum compute + io.
+  double SimulatedStallSeconds(double compute_seconds) const {
+    const double stall = SimulatedIoSeconds() - compute_seconds;
+    return stall > 0.0 ? stall : 0.0;
+  }
+
   const StorageProfile& profile() const { return profile_; }
 
  private:
   EdgeStream* inner_;
   StorageProfile profile_;
   uint64_t bytes_read_ = 0;
+  uint64_t bytes_this_pass_ = 0;
   uint64_t passes_ = 0;
 };
 

@@ -19,6 +19,9 @@ StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
   WallTimer timer;
   TPSL_RETURN_IF_ERROR(
       partitioner.Partition(stream, config, sink, &result.stats));
+  // Some partitioners drive Next() manually instead of via ForEachEdge;
+  // a stream that failed mid-pass looks like a short EOF to them.
+  TPSL_RETURN_IF_ERROR(stream.Health());
   result.wall_seconds = timer.ElapsedSeconds();
 
   result.quality = ComputeQuality(sink.partitions());

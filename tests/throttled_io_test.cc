@@ -66,5 +66,54 @@ TEST(ThrottledEdgeStreamTest, ForwardsHint) {
   EXPECT_EQ(throttled.NumEdgesHint(), 42u);
 }
 
+TEST(ThrottledEdgeStreamTest, PerPassByteAccounting) {
+  InMemoryEdgeStream inner(SomeEdges(250));
+  ThrottledEdgeStream throttled(&inner, kSsdProfile);
+  for (int pass = 0; pass < 4; ++pass) {
+    ASSERT_TRUE(ForEachEdge(throttled, [](const Edge&) {}).ok());
+    // The per-pass account covers exactly one pass...
+    EXPECT_EQ(throttled.bytes_this_pass(), 250 * sizeof(Edge));
+    // ...while the cumulative account keeps growing across passes.
+    EXPECT_EQ(throttled.bytes_read(), (pass + 1) * 250 * sizeof(Edge));
+  }
+}
+
+TEST(ThrottledEdgeStreamTest, ResetDropsPerPassAccountOnly) {
+  // Reset() models a dropped page cache: the new pass starts at zero
+  // bytes, but the device-time account keeps the full history (every
+  // pass pays full I/O cost).
+  InMemoryEdgeStream inner(SomeEdges(100));
+  ThrottledEdgeStream throttled(&inner, StorageProfile{"Test", 800});
+  ASSERT_TRUE(ForEachEdge(throttled, [](const Edge&) {}).ok());
+  const double io_after_one_pass = throttled.SimulatedIoSeconds();
+  EXPECT_GT(io_after_one_pass, 0.0);
+
+  ASSERT_TRUE(throttled.Reset().ok());
+  EXPECT_EQ(throttled.bytes_this_pass(), 0u);
+  EXPECT_EQ(throttled.bytes_read(), 100 * sizeof(Edge));
+  EXPECT_DOUBLE_EQ(throttled.SimulatedIoSeconds(), io_after_one_pass);
+  EXPECT_EQ(throttled.passes(), 2u);
+}
+
+TEST(ThrottledEdgeStreamTest, SimulatedStallTime) {
+  InMemoryEdgeStream inner(SomeEdges(1000));
+  // 8000 bytes at 8000 B/s = 1 s of device time for one pass.
+  ThrottledEdgeStream throttled(&inner, StorageProfile{"Test", 8000});
+  ASSERT_TRUE(ForEachEdge(throttled, [](const Edge&) {}).ok());
+  // Compute slower than the device: I/O fully hidden, no stall.
+  EXPECT_DOUBLE_EQ(throttled.SimulatedStallSeconds(2.0), 0.0);
+  // Compute faster than the device: stall for the remainder.
+  EXPECT_DOUBLE_EQ(throttled.SimulatedStallSeconds(0.25), 0.75);
+  // Degenerate case: no compute at all stalls for the full I/O time.
+  EXPECT_DOUBLE_EQ(throttled.SimulatedStallSeconds(0.0),
+                   throttled.SimulatedIoSeconds());
+}
+
+TEST(ThrottledEdgeStreamTest, ForwardsHealth) {
+  InMemoryEdgeStream inner(SomeEdges(10));
+  ThrottledEdgeStream throttled(&inner, kSsdProfile);
+  EXPECT_TRUE(throttled.Health().ok());
+}
+
 }  // namespace
 }  // namespace tpsl

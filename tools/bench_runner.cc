@@ -10,6 +10,10 @@
 //
 //   --scenario=NAME   restrict --emit/--check/--smoke to one scenario
 //                     (repeatable)
+//   --catalog=FILE    ingest catalog for disk-backed scenarios
+//                     (default bench/catalog.json)
+//   --datasets=DIR    dataset cache dir for disk-backed scenarios,
+//                     generated on demand (default bench/.datasets)
 //
 // To (re)pin baselines after an intentional perf or quality change:
 //   bench_runner --emit --out=bench/baselines && git diff bench/baselines
@@ -25,6 +29,7 @@
 #include "benchkit/record.h"
 #include "benchkit/runner.h"
 #include "benchkit/scenario.h"
+#include "ingest/scenario_runner.h"
 #include "util/status.h"
 
 namespace {
@@ -33,21 +38,27 @@ using tpsl::benchkit::BenchRecord;
 using tpsl::benchkit::ComparisonReport;
 using tpsl::benchkit::PinnedScenarios;
 using tpsl::benchkit::RecordFileName;
-using tpsl::benchkit::RunScenario;
 using tpsl::benchkit::RunScenarioOptions;
 using tpsl::benchkit::Scenario;
+using tpsl::benchkit::ScenarioKind;
+using tpsl::benchkit::ScenarioKindLabel;
+using tpsl::ingest::RunScenarioWithIngest;
+using tpsl::ingest::ScenarioRunContext;
 
 struct Options {
   enum class Mode { kNone, kList, kEmit, kCheck, kSmoke } mode = Mode::kNone;
   std::string baseline_dir;              // --check
   std::string out_dir;                   // --emit/--check output
   std::vector<std::string> scenarios;    // --scenario filters
+  std::string catalog_path = "bench/catalog.json";
+  std::string dataset_dir = "bench/.datasets";
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--list | --emit | --check=BASELINE_DIR | --smoke)"
-               " [--out=DIR] [--scenario=NAME ...]\n",
+               " [--out=DIR] [--scenario=NAME ...] [--catalog=FILE]"
+               " [--datasets=DIR]\n",
                argv0);
   return 2;
 }
@@ -81,11 +92,12 @@ bool SelectScenarios(const Options& options, std::vector<Scenario>* selected) {
 }
 
 int ListScenarios() {
-  std::printf("%-16s %-10s %-8s %5s %6s %6s  %s\n", "name", "partitioner",
-              "dataset", "k", "shift", "seed", "description");
+  std::printf("%-24s %-10s %-10s %-8s %5s %6s %6s  %s\n", "name", "kind",
+              "partitioner", "dataset", "k", "shift", "seed", "description");
   for (const Scenario& s : PinnedScenarios()) {
-    std::printf("%-16s %-10s %-8s %5u %6d %6llu  %s\n", s.name.c_str(),
-                s.partitioner.c_str(), s.dataset.c_str(), s.k, s.scale_shift,
+    std::printf("%-24s %-10s %-10s %-8s %5u %6d %6llu  %s\n", s.name.c_str(),
+                ScenarioKindLabel(s.kind), s.partitioner.c_str(),
+                s.dataset.c_str(), s.k, s.scale_shift,
                 static_cast<unsigned long long>(s.seed),
                 s.description.c_str());
   }
@@ -93,12 +105,16 @@ int ListScenarios() {
 }
 
 /// Runs the selection, printing one progress line per scenario.
-bool RunAll(const std::vector<Scenario>& scenarios,
+bool RunAll(const std::vector<Scenario>& scenarios, const Options& options,
             const RunScenarioOptions& run_options,
             std::vector<BenchRecord>* records) {
+  ScenarioRunContext context;
+  context.catalog_path = options.catalog_path;
+  context.dataset_dir = options.dataset_dir;
+  context.options = run_options;
   for (const Scenario& scenario : scenarios) {
-    std::fprintf(stderr, "running %-16s ...", scenario.name.c_str());
-    auto record = RunScenario(scenario, run_options);
+    std::fprintf(stderr, "running %-24s ...", scenario.name.c_str());
+    auto record = RunScenarioWithIngest(scenario, context);
     if (!record.ok()) {
       std::fprintf(stderr, " failed: %s\n",
                    record.status().ToString().c_str());
@@ -140,7 +156,7 @@ int Emit(const Options& options) {
     return 2;
   }
   std::vector<BenchRecord> records;
-  if (!RunAll(scenarios, {}, &records)) {
+  if (!RunAll(scenarios, options, {}, &records)) {
     return 1;
   }
   return WriteRecords(records, options.out_dir.empty() ? "." : options.out_dir)
@@ -159,7 +175,7 @@ int Check(const Options& options) {
     return 1;
   }
   std::vector<BenchRecord> records;
-  if (!RunAll(scenarios, {}, &records)) {
+  if (!RunAll(scenarios, options, {}, &records)) {
     return 1;
   }
   if (!options.out_dir.empty() && !WriteRecords(records, options.out_dir)) {
@@ -182,14 +198,21 @@ int Smoke(const Options& options) {
   run_options.extra_scale_shift = 3;
   run_options.repeats = 1;  // smoke exercises the path, it doesn't time
   std::vector<BenchRecord> records;
-  if (!RunAll(scenarios, run_options, &records)) {
+  if (!RunAll(scenarios, options, run_options, &records)) {
     return 1;
   }
-  const char* required[] = {"seconds", "replication_factor", "measured_alpha",
-                            "state_bytes", "num_edges", "peak_rss_bytes"};
+  // Per-kind metric contract (ingest scans have no partition quality).
+  const std::vector<const char*> partition_required = {
+      "seconds", "replication_factor", "measured_alpha",
+      "state_bytes", "num_edges", "peak_rss_bytes"};
+  const std::vector<const char*> scan_required = {
+      "seconds", "num_edges", "file_bytes", "edges_per_second",
+      "peak_rss_bytes"};
   bool ok = true;
-  for (const BenchRecord& record : records) {
-    for (const char* name : required) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& record = records[i];
+    const bool is_scan = scenarios[i].kind == ScenarioKind::kIngestScan;
+    for (const char* name : is_scan ? scan_required : partition_required) {
       const double* value = record.FindMetric(name);
       if (value == nullptr || !std::isfinite(*value)) {
         std::fprintf(stderr, "smoke: %s metric '%s' missing or non-finite\n",
@@ -230,6 +253,10 @@ int main(int argc, char** argv) {
       options.scenarios.push_back(value);
     } else if (std::strcmp(arg, "--scenario") == 0 && i + 1 < argc) {
       options.scenarios.push_back(argv[++i]);
+    } else if (ParseFlag(arg, "--catalog", &value)) {
+      options.catalog_path = value;
+    } else if (ParseFlag(arg, "--datasets", &value)) {
+      options.dataset_dir = value;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg);
       return Usage(argv[0]);

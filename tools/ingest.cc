@@ -1,0 +1,320 @@
+// Dataset ingestion driver: turns the checked-in catalog
+// (bench/catalog.json) into on-disk binary edge lists and keeps them
+// honest.
+//
+//   ingest --describe                 list catalog recipes + cache state
+//   ingest --generate                 get-or-generate every dataset
+//   ingest --verify                   full re-checksum against the pins
+//   ingest --pin                      generate + write actual edge counts
+//                                     and checksums back into the catalog
+//   ingest --bench                    read-throughput: plain vs prefetched
+//
+//   --catalog=FILE    catalog path (default bench/catalog.json)
+//   --dir=DIR         dataset cache dir (default bench/.datasets)
+//   --name=NAME       restrict to one dataset (repeatable)
+//   --chunk-edges=N   generation chunk buffer, in edges (default 1Mi)
+//
+// CI runs --generate (cache-backed via actions/cache keyed on the
+// catalog hash) and --verify before the bench_runner perf gate.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/binary_edge_list.h"
+#include "ingest/catalog.h"
+#include "ingest/prefetching_edge_stream.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+using tpsl::Status;
+using tpsl::ingest::Catalog;
+using tpsl::ingest::CatalogEntry;
+using tpsl::ingest::DatasetPath;
+using tpsl::ingest::EnsureDataset;
+using tpsl::ingest::EnsureResult;
+using tpsl::ingest::LoadCatalog;
+using tpsl::ingest::PrefetchingEdgeStream;
+using tpsl::ingest::SaveCatalog;
+using tpsl::ingest::VerifyDataset;
+
+struct Options {
+  enum class Mode { kNone, kDescribe, kGenerate, kVerify, kPin, kBench };
+  Mode mode = Mode::kNone;
+  std::string catalog_path = "bench/catalog.json";
+  std::string dir = "bench/.datasets";
+  std::vector<std::string> names;
+  size_t chunk_edges = 1 << 20;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--describe | --generate | --verify | --pin |"
+               " --bench) [--catalog=FILE] [--dir=DIR] [--name=NAME ...]"
+               " [--chunk-edges=N]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *value = arg + len + 1;
+  return true;
+}
+
+/// Catalog entries selected by --name filters (all when none given).
+bool SelectEntries(const Catalog& catalog, const Options& options,
+                   std::vector<CatalogEntry>* selected) {
+  if (options.names.empty()) {
+    *selected = catalog.entries;
+    return !selected->empty();
+  }
+  for (const std::string& name : options.names) {
+    const CatalogEntry* entry = catalog.Find(name);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "unknown dataset '%s' (see --describe)\n",
+                   name.c_str());
+      return false;
+    }
+    selected->push_back(*entry);
+  }
+  return true;
+}
+
+int Describe(const Catalog& catalog, const Options& options) {
+  std::vector<CatalogEntry> entries;
+  if (!SelectEntries(catalog, options, &entries)) {
+    return 2;
+  }
+  std::printf("%-14s %-18s %5s %4s %8s %14s %-24s %s\n", "name", "kind",
+              "scale", "ef", "seed", "edges", "checksum", "cache");
+  for (const CatalogEntry& entry : entries) {
+    const std::string path = DatasetPath(options.dir, entry.recipe.name);
+    std::FILE* probe = std::fopen(path.c_str(), "rb");
+    const char* cache = "absent";
+    if (probe != nullptr) {
+      std::fclose(probe);
+      cache = "present";
+    }
+    std::printf("%-14s %-18s %5u %4u %8" PRIu64 " %14" PRIu64 " %-24s %s\n",
+                entry.recipe.name.c_str(), entry.recipe.kind.c_str(),
+                entry.recipe.scale, entry.recipe.edge_factor,
+                entry.recipe.seed, entry.expected_edges,
+                entry.expected_checksum.empty()
+                    ? "(unpinned)"
+                    : entry.expected_checksum.c_str(),
+                cache);
+  }
+  return 0;
+}
+
+int Generate(const Catalog& catalog, const Options& options) {
+  std::vector<CatalogEntry> entries;
+  if (!SelectEntries(catalog, options, &entries)) {
+    return 2;
+  }
+  for (const CatalogEntry& entry : entries) {
+    auto result = EnsureDataset(entry, options.dir, options.chunk_edges);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::string timing;
+    if (result->generated) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " (%.2fs)", result->generate_seconds);
+      timing = buf;
+    }
+    std::printf("%-14s %s  %" PRIu64 " edges, %" PRIu64 " bytes, %s%s\n",
+                entry.recipe.name.c_str(),
+                result->generated ? "generated" : "cached   ",
+                result->num_edges, result->file_bytes,
+                result->checksum.c_str(), timing.c_str());
+  }
+  return 0;
+}
+
+int Verify(const Catalog& catalog, const Options& options) {
+  std::vector<CatalogEntry> entries;
+  if (!SelectEntries(catalog, options, &entries)) {
+    return 2;
+  }
+  bool ok = true;
+  for (const CatalogEntry& entry : entries) {
+    const Status status = VerifyDataset(entry, options.dir);
+    std::printf("%-14s %s\n", entry.recipe.name.c_str(),
+                status.ok() ? "ok" : status.ToString().c_str());
+    ok = ok && status.ok();
+  }
+  return ok ? 0 : 1;
+}
+
+int Pin(Catalog catalog, const Options& options) {
+  // Pinning ignores --name filters: a half-pinned catalog is worse
+  // than an unpinned one.
+  for (CatalogEntry& entry : catalog.entries) {
+    // Pinning exists to capture what the *current* generator produces,
+    // so never trust the cache: a cached file from before a generator
+    // change matches its manifest and would silently re-pin the old
+    // bytes. Drop it and regenerate.
+    std::remove(DatasetPath(options.dir, entry.recipe.name).c_str());
+    std::remove(
+        tpsl::ingest::ManifestPath(options.dir, entry.recipe.name).c_str());
+    // Generate against a pin-free copy so stale pins don't block the
+    // regeneration they are being updated from.
+    CatalogEntry unpinned = entry;
+    unpinned.expected_edges = 0;
+    unpinned.expected_checksum.clear();
+    auto result = EnsureDataset(unpinned, options.dir, options.chunk_edges);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    entry.expected_edges = result->num_edges;
+    entry.expected_checksum = result->checksum;
+    std::printf("pinned %-14s %" PRIu64 " edges %s\n",
+                entry.recipe.name.c_str(), result->num_edges,
+                result->checksum.c_str());
+  }
+  const Status status = SaveCatalog(catalog, options.catalog_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", options.catalog_path.c_str());
+  return 0;
+}
+
+int Bench(const Catalog& catalog, const Options& options) {
+  std::vector<CatalogEntry> entries;
+  if (!SelectEntries(catalog, options, &entries)) {
+    return 2;
+  }
+  std::printf("%-14s %14s %12s %12s %10s %10s\n", "name", "edges",
+              "plain MB/s", "prefetch MB/s", "plain s", "prefetch s");
+  for (const CatalogEntry& entry : entries) {
+    auto ensured = EnsureDataset(entry, options.dir, options.chunk_edges);
+    if (!ensured.ok()) {
+      std::fprintf(stderr, "%s\n", ensured.status().ToString().c_str());
+      return 1;
+    }
+    auto time_scan = [&](tpsl::EdgeStream& stream,
+                         double* out_seconds) -> Status {
+      uint64_t count = 0;
+      tpsl::WallTimer timer;
+      TPSL_RETURN_IF_ERROR(
+          tpsl::ForEachEdge(stream, [&count](const tpsl::Edge&) { ++count; }));
+      *out_seconds = timer.ElapsedSeconds();
+      if (count != ensured->num_edges) {
+        return Status::Internal("scan delivered " + std::to_string(count) +
+                                " of " + std::to_string(ensured->num_edges) +
+                                " edges");
+      }
+      return Status::OK();
+    };
+
+    double plain_seconds = 0.0;
+    double prefetch_seconds = 0.0;
+    {
+      auto plain = tpsl::BinaryFileEdgeStream::Open(ensured->path);
+      if (!plain.ok()) {
+        std::fprintf(stderr, "%s\n", plain.status().ToString().c_str());
+        return 1;
+      }
+      const Status status = time_scan(**plain, &plain_seconds);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    {
+      auto file = tpsl::BinaryFileEdgeStream::Open(ensured->path);
+      if (!file.ok()) {
+        std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+        return 1;
+      }
+      PrefetchingEdgeStream prefetched(std::move(*file));
+      const Status status = time_scan(prefetched, &prefetch_seconds);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    const double mb = static_cast<double>(ensured->file_bytes) / 1e6;
+    std::printf("%-14s %14" PRIu64 " %12.1f %12.1f %10.3f %10.3f\n",
+                entry.recipe.name.c_str(), ensured->num_edges,
+                plain_seconds > 0 ? mb / plain_seconds : 0.0,
+                prefetch_seconds > 0 ? mb / prefetch_seconds : 0.0,
+                plain_seconds, prefetch_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (std::strcmp(arg, "--describe") == 0) {
+      options.mode = Options::Mode::kDescribe;
+    } else if (std::strcmp(arg, "--generate") == 0) {
+      options.mode = Options::Mode::kGenerate;
+    } else if (std::strcmp(arg, "--verify") == 0) {
+      options.mode = Options::Mode::kVerify;
+    } else if (std::strcmp(arg, "--pin") == 0) {
+      options.mode = Options::Mode::kPin;
+    } else if (std::strcmp(arg, "--bench") == 0) {
+      options.mode = Options::Mode::kBench;
+    } else if (ParseFlag(arg, "--catalog", &value)) {
+      options.catalog_path = value;
+    } else if (ParseFlag(arg, "--dir", &value)) {
+      options.dir = value;
+    } else if (ParseFlag(arg, "--name", &value)) {
+      options.names.push_back(value);
+    } else if (ParseFlag(arg, "--chunk-edges", &value)) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed == 0) {
+        std::fprintf(stderr, "bad --chunk-edges '%s'\n", value.c_str());
+        return Usage(argv[0]);
+      }
+      options.chunk_edges = static_cast<size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+  if (options.mode == Options::Mode::kNone) {
+    return Usage(argv[0]);
+  }
+  auto catalog = LoadCatalog(options.catalog_path);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  switch (options.mode) {
+    case Options::Mode::kDescribe:
+      return Describe(*catalog, options);
+    case Options::Mode::kGenerate:
+      return Generate(*catalog, options);
+    case Options::Mode::kVerify:
+      return Verify(*catalog, options);
+    case Options::Mode::kPin:
+      return Pin(std::move(*catalog), options);
+    case Options::Mode::kBench:
+      return Bench(*catalog, options);
+    case Options::Mode::kNone:
+      break;
+  }
+  return Usage(argv[0]);
+}
