@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <queue>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "baselines/ne.h"
+#include "exec/thread_pool.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -107,17 +107,20 @@ Status DnePartitioner::Partition(EdgeStream& stream,
   }
 
   const uint64_t share = edges.empty() ? 0 : (edges.size() + k - 1) / k;
-  uint32_t num_threads = options_.num_threads != 0
-                             ? options_.num_threads
-                             : std::thread::hardware_concurrency();
-  num_threads = std::max<uint32_t>(1, std::min(num_threads, k));
+  // An explicit Options override wins; otherwise the run's ExecContext
+  // decides. Either way the shared helper resolves 0 and caps at k (a
+  // worker per partition is the most DNE can use).
+  const uint32_t num_threads = exec::ResolveThreadCount(
+      options_.num_threads != 0 ? options_.num_threads : config.exec.threads,
+      /*cap=*/k);
 
   if (!edges.empty()) {
-    // Deterministic spread of seeds over the id space.
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
+    // Deterministic spread of seeds over the id space; each engine task
+    // expands the same stride-t partition set the dedicated threads
+    // used to.
+    exec::TaskGroup group(config.exec.pool_or_global());
     for (uint32_t t = 0; t < num_threads; ++t) {
-      workers.emplace_back([&, t]() {
+      group.Submit([&, t]() {
         for (PartitionId p = t; p < k; p += num_threads) {
           const VertexId seed = static_cast<VertexId>(
               (static_cast<uint64_t>(p) * num_vertices) / k);
@@ -126,9 +129,7 @@ Status DnePartitioner::Partition(EdgeStream& stream,
         }
       });
     }
-    for (std::thread& worker : workers) {
-      worker.join();
-    }
+    group.Wait();
   }
 
   // Sequential epilogue: any edge left unclaimed (possible when

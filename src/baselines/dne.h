@@ -17,7 +17,10 @@ namespace tpsl {
 class DnePartitioner : public Partitioner {
  public:
   struct Options {
-    /// Worker threads; 0 = one per hardware thread (capped at k).
+    /// Explicit worker override; 0 = follow PartitionConfig::exec.
+    /// Either way the count resolves through exec::ResolveThreadCount
+    /// (0 = one per hardware thread) capped at k, and the workers run
+    /// on the run's exec pool.
     uint32_t num_threads = 0;
   };
 

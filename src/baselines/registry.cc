@@ -29,6 +29,12 @@ StatusOr<std::unique_ptr<Partitioner>> MakePartitioner(
   if (name == "2PS-L(par)") {
     return std::unique_ptr<Partitioner>(new ParallelTwoPhasePartitioner());
   }
+  if (name == "2PS-HDRF(par)") {
+    ParallelTwoPhasePartitioner::Options options;
+    options.scoring = ParallelTwoPhasePartitioner::ScoringMode::kHdrf;
+    return std::unique_ptr<Partitioner>(
+        new ParallelTwoPhasePartitioner(options));
+  }
   if (name == "HDRF") {
     return std::unique_ptr<Partitioner>(new HdrfPartitioner());
   }

@@ -10,9 +10,9 @@
 namespace tpsl {
 
 /// Creates a partitioner by its evaluation name. Supported names:
-/// "2PS-L", "2PS-HDRF", "2PS-L(par)", "HDRF", "DBH", "Grid", "Hash",
-/// "Greedy", "ADWISE", "NE", "SNE", "DNE", "HEP-1", "HEP-10",
-/// "HEP-100", "METIS*". Returns NotFound for anything else.
+/// "2PS-L", "2PS-HDRF", "2PS-L(par)", "2PS-HDRF(par)", "HDRF", "DBH",
+/// "Grid", "Hash", "Greedy", "ADWISE", "NE", "SNE", "DNE", "HEP-1",
+/// "HEP-10", "HEP-100", "METIS*". Returns NotFound for anything else.
 StatusOr<std::unique_ptr<Partitioner>> MakePartitioner(
     const std::string& name);
 

@@ -75,6 +75,10 @@ void AppendConfigNote(const BenchRecord& baseline, const BenchRecord& current,
     mismatch("seed", std::to_string(baseline.seed),
              std::to_string(current.seed));
   }
+  if (baseline.threads != current.threads) {
+    mismatch("threads", std::to_string(baseline.threads),
+             std::to_string(current.threads));
+  }
 }
 
 }  // namespace
@@ -115,6 +119,27 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric) {
           .informational = false};
 }
 
+ToleranceSpec DefaultToleranceFor(const std::string& metric,
+                                  uint32_t threads) {
+  ToleranceSpec spec = DefaultToleranceFor(metric);
+  if (threads <= 1) {
+    return spec;
+  }
+  if (metric == "seconds") {
+    // Multi-threaded wall time depends on the machine shape (core
+    // count, SMT, co-tenancy), not just the code; record it, never
+    // gate it. Quality regressions on parallel scenarios are caught by
+    // the (still gated) replication/balance metrics below.
+    spec.informational = true;
+  } else if (metric == "replication_factor" || metric == "measured_alpha") {
+    // Parallel workers score against stale shared state, so quality is
+    // scheduling-dependent: same class, not same bits. 10% catches a
+    // broken scoring path while absorbing interleaving noise.
+    spec.rel = 0.10;
+  }
+  return spec;
+}
+
 ScenarioComparison CompareRecord(const BenchRecord& baseline,
                                  const BenchRecord& current) {
   ScenarioComparison comparison;
@@ -125,7 +150,7 @@ ScenarioComparison CompareRecord(const BenchRecord& baseline,
     MetricCheck check;
     check.metric = name;
     check.baseline = base_value;
-    check.tolerance = DefaultToleranceFor(name);
+    check.tolerance = DefaultToleranceFor(name, current.threads);
 
     const double* cur = current.FindMetric(name);
     if (cur == nullptr) {
@@ -163,7 +188,7 @@ ScenarioComparison CompareRecord(const BenchRecord& baseline,
       MetricCheck check;
       check.metric = name;
       check.current = cur_value;
-      check.tolerance = DefaultToleranceFor(name);
+      check.tolerance = DefaultToleranceFor(name, current.threads);
       check.status = MetricStatus::kNewMetric;
       comparison.checks.push_back(std::move(check));
     }

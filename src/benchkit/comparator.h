@@ -30,6 +30,16 @@ struct ToleranceSpec {
 /// one, per-phase/RSS metrics are informational.
 ToleranceSpec DefaultToleranceFor(const std::string& metric);
 
+/// Thread-aware policy, keyed additionally by the record's worker
+/// count. With threads > 1, parallel wall time is machine-shape
+/// dependent (how 2 workers share cores differs per runner), so
+/// "seconds" becomes informational; quality metrics stay gated
+/// two-sided but with a wider band (±10%) because scoring against
+/// stale shared state is scheduling-dependent, not seed-deterministic.
+/// threads == 1 is exactly DefaultToleranceFor(metric).
+ToleranceSpec DefaultToleranceFor(const std::string& metric,
+                                  uint32_t threads);
+
 enum class MetricStatus {
   kOk,        // within tolerance
   kImproved,  // beyond tolerance in the good direction of an

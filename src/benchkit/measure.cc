@@ -31,6 +31,21 @@ int ScaleShift(int default_shift) {
   return static_cast<int>(value);
 }
 
+bool ParseThreadCount(const char* text, uint32_t* threads) {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || value == 0 ||
+      value > 1024) {
+    return false;
+  }
+  *threads = static_cast<uint32_t>(value);
+  return true;
+}
+
 StatusOr<Measurement> MeasureOnEdges(const std::string& partitioner,
                                      const std::string& dataset,
                                      const std::vector<Edge>& edges,

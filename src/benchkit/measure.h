@@ -22,6 +22,13 @@ namespace benchkit {
 /// used, instead of atoi-style silent truncation to 0.
 int ScaleShift(int default_shift);
 
+/// Parses a --threads flag value: an integer in [1, 1024] (0 is
+/// rejected — on the CLI an explicit worker count is wanted, not the
+/// 0-means-hardware sentinel). Returns false on anything else. Shared
+/// by tools/bench_runner and tools/ingest so the bound and the
+/// accepted syntax cannot drift apart.
+bool ParseThreadCount(const char* text, uint32_t* threads);
+
 /// One partitioning measurement: quality + run-time as the paper
 /// reports them (run-time is the partitioner's own phase accounting;
 /// harness overheads like metric computation are excluded).

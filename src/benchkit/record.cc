@@ -76,6 +76,7 @@ JsonValue BenchRecord::ToJson() const {
   json.Set("k", JsonValue::Number(k));
   json.Set("scale_shift", JsonValue::Number(scale_shift));
   json.Set("seed", JsonValue::Number(static_cast<double>(seed)));
+  json.Set("threads", JsonValue::Number(threads));
   JsonValue metric_object = JsonValue::Object();
   for (const auto& [name, value] : metrics) {
     metric_object.Set(name, JsonValue::Number(value));
@@ -110,6 +111,13 @@ StatusOr<BenchRecord> BenchRecord::FromJson(const JsonValue& json) {
       const double seed,
       RequireIntegral(json, "seed", 0, 9007199254740992.0));
   record.seed = static_cast<uint64_t>(seed);
+  // Optional for backward compatibility: records pinned before the
+  // execution engine have no thread dimension and were single-threaded.
+  if (json.Find("threads") != nullptr) {
+    TPSL_ASSIGN_OR_RETURN(const double threads,
+                          RequireIntegral(json, "threads", 1, 4294967295.0));
+    record.threads = static_cast<uint32_t>(threads);
+  }
 
   const JsonValue* metric_object = json.Find("metrics");
   if (metric_object == nullptr || !metric_object->is_object()) {

@@ -14,9 +14,9 @@ namespace benchkit {
 
 /// One scenario's pinned measurement, as persisted in
 /// bench/baselines/BENCH_<scenario>.json. The identity fields
-/// (partitioner, dataset, k, scale_shift, seed) are stored alongside
-/// the metrics so the comparator can refuse to diff two records whose
-/// configuration silently drifted apart.
+/// (partitioner, dataset, k, scale_shift, seed, threads) are stored
+/// alongside the metrics so the comparator can refuse to diff two
+/// records whose configuration silently drifted apart.
 struct BenchRecord {
   std::string scenario;
   std::string partitioner;
@@ -24,6 +24,13 @@ struct BenchRecord {
   uint32_t k = 0;
   int scale_shift = 0;
   uint64_t seed = 0;
+  /// Worker threads of the run (ExecContext::threads as resolved for
+  /// the scenario). A comparison dimension: with threads > 1 the
+  /// comparator treats wall time as informational (machine-shape
+  /// dependent) and widens the quality band (parallel staleness is
+  /// nondeterministic). 1 for every sequential partitioner. Absent in
+  /// pre-thread-aware record files; parsed as 1.
+  uint32_t threads = 1;
   /// Flat metric map in emission order ("seconds",
   /// "replication_factor", "measured_alpha", "state_bytes",
   /// "peak_rss_bytes", "num_edges", "phase_seconds/<phase>"...).

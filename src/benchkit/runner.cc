@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "benchkit/measure.h"
+#include "exec/thread_pool.h"
 #include "graph/datasets.h"
 #include "graph/types.h"
 #include "partition/partitioner.h"
@@ -31,9 +32,17 @@ StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
   ResetPeakRss();
   TPSL_ASSIGN_OR_RETURN(std::vector<Edge> edges,
                         LoadDataset(scenario.dataset, shift));
+  // Resolve 0-means-hardware here, not just inside the partitioner:
+  // the record's threads field is an identity dimension and FromJson
+  // (rightly) rejects 0, so an unresolved count would emit a baseline
+  // file the next --check cannot read back.
+  const uint32_t threads = exec::ResolveThreadCount(
+      options.threads_override != 0 ? options.threads_override
+                                    : scenario.threads);
   PartitionConfig config;
   config.num_partitions = scenario.k;
   config.seed = scenario.seed;
+  config.exec.threads = threads;
   TPSL_ASSIGN_OR_RETURN(
       Measurement m,
       MeasureOnEdges(scenario.partitioner, scenario.dataset, edges, config));
@@ -55,6 +64,7 @@ StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
   record.k = scenario.k;
   record.scale_shift = shift;
   record.seed = scenario.seed;
+  record.threads = threads;
   record.SetMetric("seconds", m.seconds);
   record.SetMetric("replication_factor", m.replication_factor);
   record.SetMetric("measured_alpha", m.measured_alpha);

@@ -18,6 +18,11 @@ struct RunScenarioOptions {
   /// scheduler noise only ever adds time). Deterministic metrics are
   /// identical across repeats and taken from the first.
   int repeats = 3;
+  /// Overrides the scenario's pinned worker count (tools expose it as
+  /// --threads). The emitted record carries the effective count, so a
+  /// --check against baselines pinned at a different count fails as
+  /// config drift instead of comparing unlike runs. 0 = scenario's.
+  uint32_t threads_override = 0;
 };
 
 /// Executes one scenario: materializes its dataset, runs the

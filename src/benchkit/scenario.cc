@@ -26,19 +26,43 @@ const std::vector<Scenario>& PinnedScenarios() {
       {"greedy_ok_k32", "Greedy stateful streaming baseline", "Greedy", "OK",
        32, 2, 42},
       {"ne_ok_k32", "NE in-memory quality baseline", "NE", "OK", 32, 2, 42},
+      // Parallel-scaling scenarios (execution engine): the ported
+      // ext_parallel_scaling sweep, pinned at 1/2/4 workers. threads=1
+      // is byte-deterministic (the engine degrades to an inline loop);
+      // threads>1 records wall time informationally and gates quality
+      // with the widened parallel band (see DefaultToleranceFor).
+      {"2psl_par_ok_k32_t1", "parallel 2PS-L, 1 worker (determinism anchor)",
+       "2PS-L(par)", "OK", 32, 2, 42, 1},
+      {"2psl_par_ok_k32_t2", "parallel 2PS-L scaling point, 2 workers",
+       "2PS-L(par)", "OK", 32, 2, 42, 2},
+      {"2psl_par_ok_k32_t4", "parallel 2PS-L scaling point, 4 workers",
+       "2PS-L(par)", "OK", 32, 2, 42, 4},
       // Disk-backed scenarios (ingest subsystem): datasets are the
       // pinned recipes in bench/catalog.json, streamed from disk via
       // the prefetching reader — the out-of-core configuration the
       // paper's headline claim is about. scale_shift is 0: the recipe
       // pins the size.
       {"ingest_rmat_s16", "ingest throughput: prefetched scan, R-MAT file",
-       "scan", "rmat_s16", 1, 0, 42, ScenarioKind::kIngestScan},
+       "scan", "rmat_s16", 1, 0, 42, 1, ScenarioKind::kIngestScan},
       {"ingest_web_s16", "ingest throughput: prefetched scan, web file",
-       "scan", "web_s16", 1, 0, 42, ScenarioKind::kIngestScan},
+       "scan", "web_s16", 1, 0, 42, 1, ScenarioKind::kIngestScan},
       {"oocore_2psl_rmat_s16_k32", "out-of-core 2PS-L from the R-MAT file",
-       "2PS-L", "rmat_s16", 32, 0, 42, ScenarioKind::kDiskPartition},
+       "2PS-L", "rmat_s16", 32, 0, 42, 1, ScenarioKind::kDiskPartition},
       {"oocore_2psl_web_s16_k32", "out-of-core 2PS-L from the web file",
-       "2PS-L", "web_s16", 32, 0, 42, ScenarioKind::kDiskPartition},
+       "2PS-L", "web_s16", 32, 0, 42, 1, ScenarioKind::kDiskPartition},
+      // Out-of-core parallel scaling: disk prefetch overlapping the
+      // engine's scoring workers.
+      {"2psl_par_rmat_s16_k32_t2", "out-of-core parallel 2PS-L, 2 workers",
+       "2PS-L(par)", "rmat_s16", 32, 0, 42, 2, ScenarioKind::kDiskPartition},
+      {"2psl_par_rmat_s16_k32_t4", "out-of-core parallel 2PS-L, 4 workers",
+       "2PS-L(par)", "rmat_s16", 32, 0, 42, 4, ScenarioKind::kDiskPartition},
+      // Larger tier (ROADMAP): an out-of-core run big enough that the
+      // time axis means something, guarded by the perf job's
+      // --time-budget; skipped by --smoke.
+      {"2psl_par_rmat_s20_k32_t4",
+       "larger-tier out-of-core parallel 2PS-L (8M edges), 4 workers",
+       "2PS-L(par)", "rmat_s20", 32, 0, 42, 4, ScenarioKind::kDiskPartition,
+       /*large=*/true},
   };
   return *scenarios;
 }

@@ -41,7 +41,16 @@ struct Scenario {
   /// environment knob, which would unpin the baseline).
   int scale_shift = 2;
   uint64_t seed = 42;  // PartitionConfig seed
+  /// Worker threads for the run (ExecContext::threads, resolved — a
+  /// pinned scenario never uses 0/hardware-concurrency, which would
+  /// unpin the baseline's machine shape). 1 for sequential
+  /// partitioners; the 2psl_par_* scaling scenarios pin 1/2/4.
+  uint32_t threads = 1;
   ScenarioKind kind = ScenarioKind::kInMemory;
+  /// Larger-tier scenarios (multi-second, out-of-core scale): run by
+  /// the CI perf gate under bench_runner's --time-budget, skipped by
+  /// the tier-1 --smoke sweep unless explicitly selected.
+  bool large = false;
 };
 
 /// Short label for --list output ("memory", "disk", "ingest").

@@ -2,11 +2,12 @@
 
 #include <atomic>
 #include <mutex>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/cluster_schedule.h"
 #include "core/scoring.h"
+#include "exec/parallel_for_edges.h"
 #include "graph/degrees.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -75,9 +76,13 @@ struct SharedState {
   uint64_t seed;
   bool use_volume_term;
 
-  /// Claims a partition for `e`, preferring `preferred`, then
-  /// degree-hash, then any open partition. Always succeeds while total
-  /// capacity remains.
+  /// Claims a partition for `e`: `preferred`, then the sequential
+  /// algorithm's overflow chain — degree-hash on the higher-degree
+  /// endpoint, then least-loaded. The chain matches
+  /// TwoPhasePartitioner's Phase2Context::OverflowTarget step for
+  /// step, so a single-threaded run makes identical decisions; the
+  /// CAS retry loop only matters under concurrency. Always succeeds
+  /// while total capacity remains (k * capacity >= |E|).
   PartitionId ClaimWithOverflow(const Edge& e, PartitionId preferred) const {
     if (TryClaim((*loads)[preferred], capacity)) {
       return preferred;
@@ -91,15 +96,23 @@ struct SharedState {
     if (hashed != preferred && TryClaim((*loads)[hashed], capacity)) {
       return hashed;
     }
-    // Linear probe from the hash position; guaranteed to find an open
-    // partition because k * capacity >= |E|.
-    for (uint32_t step = 1; step <= k; ++step) {
-      const PartitionId p = (hashed + step) % k;
-      if (TryClaim((*loads)[p], capacity)) {
-        return p;
+    // Last resort, as in the sequential algorithm: the least-loaded
+    // partition (re-scanned on CAS failure; some partition is always
+    // open while edges remain).
+    for (;;) {
+      PartitionId best = 0;
+      uint64_t best_load = (*loads)[0].load(std::memory_order_relaxed);
+      for (PartitionId p = 1; p < k; ++p) {
+        const uint64_t load = (*loads)[p].load(std::memory_order_relaxed);
+        if (load < best_load) {
+          best = p;
+          best_load = load;
+        }
+      }
+      if (TryClaim((*loads)[best], capacity)) {
+        return best;
       }
     }
-    return kInvalidPartition;  // Unreachable.
   }
 
   void Commit(const Edge& e, PartitionId p) const {
@@ -108,45 +121,27 @@ struct SharedState {
   }
 };
 
-/// Runs one parallelized pass over the stream: the dispatcher thread
-/// reads batches; workers process them via `process(edge)` returning
-/// the chosen partition or kInvalidPartition to skip; assignments are
-/// flushed to the sink under a mutex.
+/// Runs one engine-driven pass over the stream: ParallelForEdges pulls
+/// batches and fans them out; workers process them via `process(edge)`
+/// returning the chosen partition or kInvalidPartition to skip;
+/// assignments are flushed to the sink under a mutex, batch at a time.
 template <typename ProcessFn>
-Status ParallelPass(EdgeStream& stream, uint32_t num_threads,
-                    uint32_t batch_size, AssignmentSink& sink,
-                    const ProcessFn& process) {
-  TPSL_RETURN_IF_ERROR(stream.Reset());
-
-  std::mutex stream_mutex;
+Status ParallelPass(EdgeStream& stream, exec::ThreadPool& pool,
+                    uint32_t workers, uint32_t batch_size,
+                    AssignmentSink& sink, const ProcessFn& process) {
   std::mutex sink_mutex;
-  std::atomic<bool> done{false};
-
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (uint32_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&]() {
-      std::vector<Edge> batch(batch_size);
-      std::vector<std::pair<Edge, PartitionId>> results;
-      results.reserve(batch_size);
-      while (true) {
-        size_t n;
-        {
-          std::lock_guard<std::mutex> lock(stream_mutex);
-          if (done.load(std::memory_order_relaxed)) {
-            return;
-          }
-          n = stream.Next(batch.data(), batch.size());
-          if (n == 0) {
-            done.store(true, std::memory_order_relaxed);
-            return;
-          }
-        }
-        results.clear();
-        for (size_t i = 0; i < n; ++i) {
-          const PartitionId p = process(batch[i]);
+  exec::ParallelForEdgesOptions options;
+  options.batch_size = batch_size;
+  options.workers = workers;
+  return exec::ParallelForEdges(
+      stream, pool, options,
+      [&](const Edge* edges, size_t count) -> Status {
+        std::vector<std::pair<Edge, PartitionId>> results;
+        results.reserve(count);
+        for (size_t i = 0; i < count; ++i) {
+          const PartitionId p = process(edges[i]);
           if (p != kInvalidPartition) {
-            results.emplace_back(batch[i], p);
+            results.emplace_back(edges[i], p);
           }
         }
         if (!results.empty()) {
@@ -155,13 +150,8 @@ Status ParallelPass(EdgeStream& stream, uint32_t num_threads,
             sink.Assign(edge, partition);
           }
         }
-      }
-    });
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
-  return Status::OK();
+        return Status::OK();
+      });
 }
 
 }  // namespace
@@ -173,8 +163,8 @@ Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
   if (config.num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  if (options_.batch_size == 0) {
-    return Status::InvalidArgument("batch_size must be positive");
+  if (config.exec.batch_size == 0) {
+    return Status::InvalidArgument("exec.batch_size must be positive");
   }
   PartitionStats local_stats;
   PartitionStats& out = stats != nullptr ? *stats : local_stats;
@@ -197,7 +187,7 @@ Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
   }
   out.stream_passes += options_.clustering.num_passes;
 
-  // --- Parallel Phase 2. ---
+  // --- Parallel Phase 2 on the execution engine. ---
   ScopedTimer partition_timer(&out.phase_seconds["partitioning"]);
   const ClusterSchedule schedule = ScheduleClustersGraham(
       clustering.cluster_volumes, config.num_partitions);
@@ -224,17 +214,16 @@ Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
                     replicas.HeapBytes() +
                     loads.size() * sizeof(std::atomic<uint64_t>);
 
-  uint32_t num_threads = options_.num_threads != 0
-                             ? options_.num_threads
-                             : std::thread::hardware_concurrency();
-  num_threads = std::max<uint32_t>(1, num_threads);
+  const uint32_t workers = config.exec.ResolveThreads();
+  const uint32_t batch_size = config.exec.batch_size;
+  exec::ThreadPool& pool = config.exec.pool_or_global();
 
   std::atomic<uint64_t> prepartitioned{0};
   std::atomic<uint64_t> remaining{0};
 
   // Pass A: pre-partition co-located edges.
   TPSL_RETURN_IF_ERROR(ParallelPass(
-      stream, num_threads, options_.batch_size, sink,
+      stream, pool, workers, batch_size, sink,
       [&](const Edge& e) -> PartitionId {
         const ClusterId c1 = clustering.vertex_cluster[e.first];
         const ClusterId c2 = clustering.vertex_cluster[e.second];
@@ -256,7 +245,7 @@ Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
   const bool linear = options_.scoring == ScoringMode::kLinear;
   const double lambda = options_.hdrf_lambda;
   TPSL_RETURN_IF_ERROR(ParallelPass(
-      stream, num_threads, options_.batch_size, sink,
+      stream, pool, workers, batch_size, sink,
       [&](const Edge& e) -> PartitionId {
         const ClusterId c1 = clustering.vertex_cluster[e.first];
         const ClusterId c2 = clustering.vertex_cluster[e.second];

@@ -11,16 +11,23 @@ namespace tpsl {
 /// Parallel 2PS-L — the CuSP-style parallelization the paper sketches
 /// in its related-work discussion: Phase 1 (degrees + clustering) stays
 /// sequential (it is a small share of the run-time, Fig. 5), while the
-/// two Phase-2 streaming passes fan edge batches out to worker threads
-/// that score against a shared atomic replication table.
+/// two Phase-2 streaming passes run on the shared execution engine
+/// (exec::ParallelForEdges over config.exec's thread pool), with
+/// workers scoring against a shared atomic replication table.
+///
+/// Thread count and batch size come from PartitionConfig::exec; with
+/// exec.threads == 1 the engine degrades to an in-order inline loop and
+/// the partitioner's per-edge decisions match sequential
+/// TwoPhasePartitioner bit for bit (the determinism test relies on
+/// this).
 ///
 /// As the paper notes, "staleness in state synchronization of multiple
-/// partitioner instances can lead to lower partitioning quality":
-/// workers observe slightly stale replication bits, so the replication
-/// factor is marginally above the sequential algorithm's, and the
-/// assignment emission order is nondeterministic. The hard balance cap
-/// is still enforced exactly (loads are claimed with CAS before an
-/// edge is committed).
+/// partitioner instances can lead to lower partitioning quality": with
+/// threads > 1, workers observe slightly stale replication bits, so the
+/// replication factor is marginally above the sequential algorithm's,
+/// and the assignment emission order is nondeterministic. The hard
+/// balance cap is still enforced exactly (loads are claimed with CAS
+/// before an edge is committed).
 class ParallelTwoPhasePartitioner : public Partitioner {
  public:
   enum class ScoringMode {
@@ -30,10 +37,6 @@ class ParallelTwoPhasePartitioner : public Partitioner {
 
   struct Options {
     ClusteringConfig clustering;
-    /// Worker threads; 0 = hardware concurrency.
-    uint32_t num_threads = 0;
-    /// Edges per dispatched work unit.
-    uint32_t batch_size = 8192;
     bool use_cluster_volume_term = true;
     /// Which scoring runs in the parallel pass. Linear scoring is so
     /// cheap that the serialized stream reader bounds throughput

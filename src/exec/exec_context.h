@@ -1,0 +1,42 @@
+#ifndef TPSL_EXEC_EXEC_CONTEXT_H_
+#define TPSL_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "exec/thread_pool.h"
+
+namespace tpsl {
+namespace exec {
+
+/// How much parallelism a run may use and where it comes from. Carried
+/// through PartitionConfig so one knob reaches every parallel
+/// partitioner (parallel 2PS-L/2PS-HDRF, DNE) and the ingest scenario
+/// runner; tools expose it as --threads.
+struct ExecContext {
+  /// Worker threads; 0 = one per hardware thread. 1 makes every
+  /// engine-driven partitioner run sequentially (and deterministically:
+  /// ParallelForEdges degrades to an in-order inline loop).
+  uint32_t threads = 0;
+
+  /// Edges per dispatched work unit of ParallelForEdges.
+  uint32_t batch_size = 8192;
+
+  /// The pool to run on; nullptr = the lazily started process-wide
+  /// ThreadPool::Global(). Tests and embedders substitute an owned pool
+  /// here.
+  ThreadPool* pool = nullptr;
+
+  ThreadPool& pool_or_global() const {
+    return pool != nullptr ? *pool : ThreadPool::Global();
+  }
+
+  /// The effective worker count (see ResolveThreadCount).
+  uint32_t ResolveThreads(uint32_t cap = 0) const {
+    return ResolveThreadCount(threads, cap);
+  }
+};
+
+}  // namespace exec
+}  // namespace tpsl
+
+#endif  // TPSL_EXEC_EXEC_CONTEXT_H_

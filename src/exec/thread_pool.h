@@ -1,0 +1,113 @@
+#ifndef TPSL_EXEC_THREAD_POOL_H_
+#define TPSL_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpsl {
+namespace exec {
+
+/// Resolves a requested worker count to an actual one: 0 means "one per
+/// hardware thread" (never less than 1 — hardware_concurrency may
+/// report 0), and a non-zero `cap` bounds the result (e.g. DNE never
+/// needs more workers than partitions). The single place for the
+/// hardware-concurrency-with-cap logic that the parallel partitioners
+/// used to duplicate.
+uint32_t ResolveThreadCount(uint32_t requested, uint32_t cap = 0);
+
+/// A lazily started fixed-size worker pool with one FIFO task queue —
+/// the shared execution engine under the parallel partitioners and the
+/// ingest scenario runner (see README "Parallel execution").
+///
+/// Lifecycle: constructing a pool spawns nothing; the workers start on
+/// the first Submit(). Destruction drains the queue (every submitted
+/// task runs) and joins the workers, so shutdown under pending work is
+/// a wait, never a drop or a detach.
+///
+/// Exception propagation: a task that throws does not take down the
+/// worker (or the process). The first exception is captured and
+/// rethrown from the next Wait() — after which the pool is usable
+/// again. Callers that need per-task error handling (ParallelForEdges)
+/// catch inside the task and report Status instead.
+///
+/// Submit() and Wait() are thread-safe; tasks may not Submit() to or
+/// Wait() on their own pool (a task waiting on its own pool deadlocks
+/// a worker slot).
+class ThreadPool {
+ public:
+  /// `num_threads` as understood by ResolveThreadCount (0 = hardware).
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Enqueues a task; workers are spawned on the first call.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished, then
+  /// rethrows the first exception any of them threw (clearing it).
+  void Wait();
+
+  /// The process-wide shared pool, sized to hardware concurrency and
+  /// constructed (but not started) on first use. Partitioners reach it
+  /// through ExecContext::pool_or_global(), so tests can substitute an
+  /// owned pool.
+  static ThreadPool& Global();
+
+ private:
+  void EnsureStartedLocked();
+  void WorkerLoop();
+
+  const uint32_t num_threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // pool -> workers: task available
+  std::condition_variable idle_cv_;  // workers -> Wait(): all done
+  std::deque<std::function<void()>> queue_;
+  uint64_t pending_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+  bool started_ = false;
+  std::exception_ptr first_exception_;
+  std::vector<std::thread> workers_;
+};
+
+/// Tracks completion of one caller's tasks on a (possibly shared)
+/// pool: Submit() wraps the task with a pending counter, Wait() blocks
+/// on this group's tasks only — unlike ThreadPool::Wait(), which waits
+/// for everyone's. The destructor waits too (without rethrowing), so a
+/// group can never outlive the state its tasks capture.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until this group's tasks have finished; rethrows the first
+  /// exception one of them threw (clearing it).
+  void Wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  uint64_t pending_ = 0;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace exec
+}  // namespace tpsl
+
+#endif  // TPSL_EXEC_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "baselines/registry.h"
+#include "exec/thread_pool.h"
 #include "graph/binary_edge_list.h"
 #include "ingest/catalog.h"
 #include "ingest/prefetching_edge_stream.h"
@@ -33,7 +34,20 @@ StatusOr<EnsureResult> EnsureScenarioDataset(const Scenario& scenario,
   return EnsureDataset(*entry, context.dataset_dir);
 }
 
-BenchRecord MakeRecordShell(const Scenario& scenario) {
+/// The effective worker count: the tools' --threads override wins over
+/// the scenario's pinned count (and shows up in the record, so --check
+/// flags the drift). Resolved through the engine helper because the
+/// record's threads dimension must be a concrete count — FromJson
+/// rejects 0, so an unresolved value would emit an unreadable baseline.
+uint32_t EffectiveThreads(const Scenario& scenario,
+                          const ScenarioRunContext& context) {
+  return exec::ResolveThreadCount(context.options.threads_override != 0
+                                      ? context.options.threads_override
+                                      : scenario.threads);
+}
+
+BenchRecord MakeRecordShell(const Scenario& scenario,
+                            const ScenarioRunContext& context) {
   BenchRecord record;
   record.scenario = scenario.name;
   record.partitioner = scenario.partitioner;
@@ -43,6 +57,7 @@ BenchRecord MakeRecordShell(const Scenario& scenario) {
   // extra_scale_shift deliberately does not apply.
   record.scale_shift = scenario.scale_shift;
   record.seed = scenario.seed;
+  record.threads = EffectiveThreads(scenario, context);
   return record;
 }
 
@@ -66,6 +81,9 @@ StatusOr<BenchRecord> RunDiskPartition(const Scenario& scenario,
   PartitionConfig config;
   config.num_partitions = scenario.k;
   config.seed = scenario.seed;
+  // The execution engine under the partitioner: its workers pull
+  // batches off the prefetching reader, so disk I/O overlaps scoring.
+  config.exec.threads = EffectiveThreads(scenario, context);
 
   const int repeats = context.options.repeats > 0 ? context.options.repeats
                                                   : 1;
@@ -86,7 +104,7 @@ StatusOr<BenchRecord> RunDiskPartition(const Scenario& scenario,
     }
   }
 
-  BenchRecord record = MakeRecordShell(scenario);
+  BenchRecord record = MakeRecordShell(scenario, context);
   record.SetMetric("seconds", best.stats.TotalSeconds());
   record.SetMetric("replication_factor", best.quality.replication_factor);
   record.SetMetric("measured_alpha", best.quality.measured_alpha);
@@ -161,7 +179,7 @@ StatusOr<BenchRecord> RunIngestScan(const Scenario& scenario,
     }
   }
 
-  BenchRecord record = MakeRecordShell(scenario);
+  BenchRecord record = MakeRecordShell(scenario, context);
   record.SetMetric("seconds", seconds);
   record.SetMetric("num_edges", static_cast<double>(dataset.num_edges));
   record.SetMetric("file_bytes", static_cast<double>(dataset.file_bytes));

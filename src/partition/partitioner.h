@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "exec/exec_context.h"
 #include "graph/edge_stream.h"
 #include "graph/types.h"
 #include "partition/assignment_sink.h"
@@ -23,6 +24,13 @@ struct PartitionConfig {
 
   /// Seed for every randomized decision (hashing, tie-breaking).
   uint64_t seed = 42;
+
+  /// Execution engine settings (worker threads, batch size, pool) for
+  /// partitioners with parallel paths — parallel 2PS-L/2PS-HDRF and
+  /// DNE run on exec.threads workers from exec.pool_or_global();
+  /// sequential partitioners ignore it. The defaults (threads=0 =
+  /// hardware concurrency) preserve the old behavior.
+  exec::ExecContext exec;
 
   /// Maximum edge capacity of one partition for a graph with
   /// `num_edges` edges: ceil(α·|E|/k), but never below ceil(|E|/k) so a

@@ -155,6 +155,31 @@ TEST(RecordTest, ReadRecordDirRequiresRecords) {
   EXPECT_FALSE(ReadRecordDir(testing::TempDir() + "/does_not_exist").ok());
 }
 
+TEST(RecordTest, ThreadsDimensionRoundTripsAndDefaultsToOne) {
+  BenchRecord record = MakeRecord();
+  record.threads = 4;
+  auto back = BenchRecord::FromJson(record.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->threads, 4u);
+
+  // Pre-thread-aware baselines have no "threads" key; they were
+  // single-threaded runs and must parse as threads=1, not fail.
+  JsonValue legacy = JsonValue::Object();
+  const JsonValue with_threads = MakeRecord().ToJson();
+  for (const auto& [key, value] : with_threads.members()) {
+    if (key != "threads") {
+      legacy.Set(key, value);
+    }
+  }
+  auto parsed = BenchRecord::FromJson(legacy);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->threads, 1u);
+
+  JsonValue bad = MakeRecord().ToJson();
+  bad.Set("threads", JsonValue::Number(0));
+  EXPECT_FALSE(BenchRecord::FromJson(bad).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Comparator tolerance edges
 // ---------------------------------------------------------------------------
@@ -267,6 +292,55 @@ TEST(ComparatorTest, ConfigDriftFails) {
   ASSERT_FALSE(comparison.notes.empty());
 }
 
+TEST(ComparatorTest, ThreadMismatchIsConfigDrift) {
+  const BenchRecord baseline = MakeRecord();
+  BenchRecord current = baseline;
+  current.threads = 4;
+  const ScenarioComparison comparison = CompareRecord(baseline, current);
+  EXPECT_FALSE(comparison.passed);
+  ASSERT_FALSE(comparison.notes.empty());
+  EXPECT_NE(comparison.notes[0].find("threads"), std::string::npos);
+}
+
+TEST(ComparatorTest, ParallelWallTimeIsInformational) {
+  // Identical records except for wall time, at threads=4: multi-thread
+  // wall time is machine-shape dependent and must never gate, while the
+  // same blowup at threads=1 is a regression.
+  BenchRecord baseline = MakeRecord();
+  baseline.threads = 4;
+  BenchRecord current = baseline;
+  current.SetMetric("seconds", 0.125 * 50);
+  EXPECT_TRUE(CompareRecord(baseline, current).passed);
+
+  const ToleranceSpec parallel = DefaultToleranceFor("seconds", 4);
+  EXPECT_TRUE(parallel.informational);
+  const ToleranceSpec sequential = DefaultToleranceFor("seconds", 1);
+  EXPECT_FALSE(sequential.informational);
+}
+
+TEST(ComparatorTest, ParallelQualityStillGatedTwoSided) {
+  BenchRecord baseline = MakeRecord();
+  baseline.threads = 4;
+  // 5% rf noise from interleaving: inside the widened parallel band.
+  BenchRecord noisy = baseline;
+  noisy.SetMetric("replication_factor", 2.375 * 1.05);
+  EXPECT_TRUE(CompareRecord(baseline, noisy).passed);
+  // A 15% move in either direction is a real quality change.
+  BenchRecord worse = baseline;
+  worse.SetMetric("replication_factor", 2.375 * 1.15);
+  EXPECT_FALSE(CompareRecord(baseline, worse).passed);
+  BenchRecord better = baseline;
+  better.SetMetric("replication_factor", 2.375 * 0.85);
+  EXPECT_FALSE(CompareRecord(baseline, better).passed);
+  // The widened band is parallel-only: at threads=1 quality is
+  // deterministic and 5% would already fail.
+  EXPECT_FALSE(CompareRecord(MakeRecord(), [] {
+                 BenchRecord record = MakeRecord();
+                 record.SetMetric("replication_factor", 2.375 * 1.05);
+                 return record;
+               }()).passed);
+}
+
 TEST(ComparatorTest, NewScenarioPassesAndStaleBaselineIsFlagged) {
   BenchRecord baseline = MakeRecord();
   baseline.scenario = "retired_scenario";
@@ -283,6 +357,19 @@ TEST(ComparatorTest, NewScenarioPassesAndStaleBaselineIsFlagged) {
 // ---------------------------------------------------------------------------
 // ScaleShift env parsing (hardened against silent atoi garbage)
 // ---------------------------------------------------------------------------
+
+TEST(ParseThreadCountTest, AcceptsRangeRejectsGarbage) {
+  uint32_t threads = 0;
+  EXPECT_TRUE(ParseThreadCount("1", &threads));
+  EXPECT_EQ(threads, 1u);
+  EXPECT_TRUE(ParseThreadCount("1024", &threads));
+  EXPECT_EQ(threads, 1024u);
+  for (const char* bad :
+       {"0", "-1", "1025", "abc", "4abc", "", " ", "1e2"}) {
+    EXPECT_FALSE(ParseThreadCount(bad, &threads)) << "'" << bad << "'";
+  }
+  EXPECT_FALSE(ParseThreadCount(nullptr, &threads));
+}
 
 TEST(ScaleShiftTest, ParsesValidValuesAndRejectsGarbage) {
   unsetenv("TPSL_SCALE_SHIFT");
@@ -331,6 +418,7 @@ TEST(RunnerTest, EndToEndScenarioPopulatesFiniteMetrics) {
   EXPECT_EQ(record->partitioner, "2PS-L");
   EXPECT_EQ(record->k, 32u);
   EXPECT_EQ(record->scale_shift, scenario->scale_shift + 4);
+  EXPECT_EQ(record->threads, scenario->threads);
   for (const char* name : {"seconds", "replication_factor", "measured_alpha",
                            "state_bytes", "num_edges", "peak_rss_bytes"}) {
     const double* value = record->FindMetric(name);

@@ -4,6 +4,7 @@
 
 #include "core/parallel_two_phase.h"
 #include "core/two_phase_partitioner.h"
+#include "exec/thread_pool.h"
 #include "graph/datasets.h"
 #include "graph/in_memory_edge_stream.h"
 #include "partition/runner.h"
@@ -15,6 +16,13 @@ std::vector<Edge> TestGraph() {
   auto edges = LoadDataset("OK", /*scale_shift=*/3);
   EXPECT_TRUE(edges.ok());
   return std::move(edges).value();
+}
+
+PartitionConfig ConfigWithThreads(uint32_t k, uint32_t threads) {
+  PartitionConfig config;
+  config.num_partitions = k;
+  config.exec.threads = threads;
+  return config;
 }
 
 TEST(ParallelTwoPhaseTest, SatisfiesContract) {
@@ -31,19 +39,17 @@ TEST(ParallelTwoPhaseTest, SatisfiesContract) {
 
 TEST(ParallelTwoPhaseTest, QualityCloseToSequential) {
   const auto edges = TestGraph();
-  PartitionConfig config;
-  config.num_partitions = 32;
 
   TwoPhasePartitioner sequential;
   InMemoryEdgeStream stream_a(edges);
-  auto serial = RunPartitioner(sequential, stream_a, config);
+  auto serial = RunPartitioner(sequential, stream_a,
+                               ConfigWithThreads(32, 1));
   ASSERT_TRUE(serial.ok());
 
-  ParallelTwoPhasePartitioner::Options options;
-  options.num_threads = 8;
-  ParallelTwoPhasePartitioner parallel(options);
+  ParallelTwoPhasePartitioner parallel;
   InMemoryEdgeStream stream_b(edges);
-  auto concurrent = RunPartitioner(parallel, stream_b, config);
+  auto concurrent = RunPartitioner(parallel, stream_b,
+                                   ConfigWithThreads(32, 8));
   ASSERT_TRUE(concurrent.ok());
 
   // Stale replica reads cost a little quality; the paper predicts
@@ -54,27 +60,78 @@ TEST(ParallelTwoPhaseTest, QualityCloseToSequential) {
 }
 
 TEST(ParallelTwoPhaseTest, SingleThreadWorks) {
-  ParallelTwoPhasePartitioner::Options options;
-  options.num_threads = 1;
-  ParallelTwoPhasePartitioner partitioner(options);
+  ParallelTwoPhasePartitioner partitioner;
   const auto edges = TestGraph();
   InMemoryEdgeStream stream(edges);
-  PartitionConfig config;
-  config.num_partitions = 8;
-  auto result = RunPartitioner(partitioner, stream, config);
+  auto result =
+      RunPartitioner(partitioner, stream, ConfigWithThreads(8, 1));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+/// The engine contract the 2psl_par_*_t1 baseline anchor relies on:
+/// with one worker ParallelForEdges degrades to an in-order inline
+/// loop and the parallel partitioner's per-edge decision chain
+/// (scoring, overflow hashing, least-loaded fallback) matches the
+/// sequential implementation step for step — so the produced
+/// partitions must be byte-identical, not merely equal in quality.
+TEST(ParallelTwoPhaseTest, SingleThreadMatchesSequential2pslExactly) {
+  const auto edges = TestGraph();
+
+  TwoPhasePartitioner sequential;
+  InMemoryEdgeStream stream_a(edges);
+  auto serial = RunPartitioner(sequential, stream_a, ConfigWithThreads(32, 1),
+                               {.keep_partitions = true});
+  ASSERT_TRUE(serial.ok());
+
+  ParallelTwoPhasePartitioner parallel;
+  InMemoryEdgeStream stream_b(edges);
+  auto single = RunPartitioner(parallel, stream_b, ConfigWithThreads(32, 1),
+                               {.keep_partitions = true});
+  ASSERT_TRUE(single.ok());
+
+  ASSERT_EQ(serial->partitions.size(), single->partitions.size());
+  for (size_t p = 0; p < serial->partitions.size(); ++p) {
+    EXPECT_EQ(serial->partitions[p], single->partitions[p])
+        << "partition " << p << " differs";
+  }
+  EXPECT_EQ(serial->quality.replication_factor,
+            single->quality.replication_factor);
+}
+
+/// Same anchor for the HDRF scoring mode (2PS-HDRF(par) vs 2PS-HDRF).
+TEST(ParallelTwoPhaseTest, SingleThreadMatchesSequentialHdrfExactly) {
+  const auto edges = TestGraph();
+
+  TwoPhasePartitioner::Options seq_options;
+  seq_options.scoring = TwoPhasePartitioner::ScoringMode::kHdrf;
+  TwoPhasePartitioner sequential(seq_options);
+  InMemoryEdgeStream stream_a(edges);
+  auto serial = RunPartitioner(sequential, stream_a, ConfigWithThreads(16, 1),
+                               {.keep_partitions = true});
+  ASSERT_TRUE(serial.ok());
+
+  ParallelTwoPhasePartitioner::Options par_options;
+  par_options.scoring = ParallelTwoPhasePartitioner::ScoringMode::kHdrf;
+  ParallelTwoPhasePartitioner parallel(par_options);
+  InMemoryEdgeStream stream_b(edges);
+  auto single = RunPartitioner(parallel, stream_b, ConfigWithThreads(16, 1),
+                               {.keep_partitions = true});
+  ASSERT_TRUE(single.ok());
+
+  ASSERT_EQ(serial->partitions.size(), single->partitions.size());
+  for (size_t p = 0; p < serial->partitions.size(); ++p) {
+    EXPECT_EQ(serial->partitions[p], single->partitions[p])
+        << "partition " << p << " differs";
+  }
 }
 
 TEST(ParallelTwoPhaseTest, CoversAllEdgesAcrossThreadCounts) {
   const auto edges = TestGraph();
   for (const uint32_t threads : {2u, 4u, 16u}) {
-    ParallelTwoPhasePartitioner::Options options;
-    options.num_threads = threads;
-    options.batch_size = 1024;
-    ParallelTwoPhasePartitioner partitioner(options);
+    ParallelTwoPhasePartitioner partitioner;
     InMemoryEdgeStream stream(edges);
-    PartitionConfig config;
-    config.num_partitions = 16;
+    PartitionConfig config = ConfigWithThreads(16, threads);
+    config.exec.batch_size = 1024;
     EdgeListSink sink(16);
     PartitionStats stats;
     ASSERT_TRUE(partitioner.Partition(stream, config, sink, &stats).ok());
@@ -84,12 +141,23 @@ TEST(ParallelTwoPhaseTest, CoversAllEdgesAcrossThreadCounts) {
   }
 }
 
-TEST(ParallelTwoPhaseTest, RejectsBadOptions) {
-  ParallelTwoPhasePartitioner::Options options;
-  options.batch_size = 0;
-  ParallelTwoPhasePartitioner partitioner(options);
+TEST(ParallelTwoPhaseTest, RunsOnAnOwnedPool) {
+  exec::ThreadPool pool(3);
+  ParallelTwoPhasePartitioner partitioner;
+  const auto edges = TestGraph();
+  InMemoryEdgeStream stream(edges);
+  PartitionConfig config = ConfigWithThreads(16, 3);
+  config.exec.pool = &pool;
+  auto result = RunPartitioner(partitioner, stream, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->quality.num_edges, edges.size());
+}
+
+TEST(ParallelTwoPhaseTest, RejectsBadExecConfig) {
+  ParallelTwoPhasePartitioner partitioner;
   InMemoryEdgeStream stream({{0, 1}});
   PartitionConfig config;
+  config.exec.batch_size = 0;
   CountingSink sink(config.num_partitions);
   EXPECT_FALSE(partitioner.Partition(stream, config, sink, nullptr).ok());
 }

@@ -14,11 +14,21 @@
 //                     (default bench/catalog.json)
 //   --datasets=DIR    dataset cache dir for disk-backed scenarios,
 //                     generated on demand (default bench/.datasets)
+//   --threads=N       override every scenario's pinned worker count
+//                     (records carry the override, so --check flags it
+//                     as config drift — exploration only)
+//   --time-budget=S   fail if any single scenario takes more than S
+//                     wall seconds (CI's runtime guard for the larger
+//                     scenario tier)
+//
+// --smoke skips larger-tier scenarios (scenario.large) unless they are
+// named explicitly with --scenario; the CI perf gate runs them.
 //
 // To (re)pin baselines after an intentional perf or quality change:
 //   bench_runner --emit --out=bench/baselines && git diff bench/baselines
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -26,11 +36,13 @@
 #include <vector>
 
 #include "benchkit/comparator.h"
+#include "benchkit/measure.h"
 #include "benchkit/record.h"
 #include "benchkit/runner.h"
 #include "benchkit/scenario.h"
 #include "ingest/scenario_runner.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -52,13 +64,15 @@ struct Options {
   std::vector<std::string> scenarios;    // --scenario filters
   std::string catalog_path = "bench/catalog.json";
   std::string dataset_dir = "bench/.datasets";
+  uint32_t threads = 0;                  // --threads override (0 = pinned)
+  double time_budget_seconds = 0.0;      // --time-budget (0 = no guard)
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--list | --emit | --check=BASELINE_DIR | --smoke)"
                " [--out=DIR] [--scenario=NAME ...] [--catalog=FILE]"
-               " [--datasets=DIR]\n",
+               " [--datasets=DIR] [--threads=N] [--time-budget=SECONDS]\n",
                argv0);
   return 2;
 }
@@ -92,29 +106,40 @@ bool SelectScenarios(const Options& options, std::vector<Scenario>* selected) {
 }
 
 int ListScenarios() {
-  std::printf("%-24s %-10s %-10s %-8s %5s %6s %6s  %s\n", "name", "kind",
-              "partitioner", "dataset", "k", "shift", "seed", "description");
+  std::printf("%-26s %-7s %-12s %-8s %5s %6s %6s %4s %5s  %s\n", "name",
+              "kind", "partitioner", "dataset", "k", "shift", "seed", "thr",
+              "tier", "description");
   for (const Scenario& s : PinnedScenarios()) {
-    std::printf("%-24s %-10s %-10s %-8s %5u %6d %6llu  %s\n", s.name.c_str(),
-                ScenarioKindLabel(s.kind), s.partitioner.c_str(),
-                s.dataset.c_str(), s.k, s.scale_shift,
-                static_cast<unsigned long long>(s.seed),
-                s.description.c_str());
+    std::printf("%-26s %-7s %-12s %-8s %5u %6d %6llu %4u %5s  %s\n",
+                s.name.c_str(), ScenarioKindLabel(s.kind),
+                s.partitioner.c_str(), s.dataset.c_str(), s.k, s.scale_shift,
+                static_cast<unsigned long long>(s.seed), s.threads,
+                s.large ? "large" : "std", s.description.c_str());
   }
   return 0;
 }
 
 /// Runs the selection, printing one progress line per scenario.
+/// Returns false only when a scenario fails to run. The time budget
+/// guards each scenario's full wall time (all repeats + harness work,
+/// not just the reported fastest repeat) — the larger scenario tier
+/// only stays in CI while it stays affordable — but a violation is
+/// reported through `within_budget` instead of aborting, so the
+/// records still get written and compared (the emitted JSON is what a
+/// CI debugging session needs most).
 bool RunAll(const std::vector<Scenario>& scenarios, const Options& options,
             const RunScenarioOptions& run_options,
-            std::vector<BenchRecord>* records) {
+            std::vector<BenchRecord>* records, bool* within_budget) {
   ScenarioRunContext context;
   context.catalog_path = options.catalog_path;
   context.dataset_dir = options.dataset_dir;
   context.options = run_options;
+  context.options.threads_override = options.threads;
   for (const Scenario& scenario : scenarios) {
-    std::fprintf(stderr, "running %-24s ...", scenario.name.c_str());
+    std::fprintf(stderr, "running %-26s ...", scenario.name.c_str());
+    tpsl::WallTimer timer;
     auto record = RunScenarioWithIngest(scenario, context);
+    const double wall = timer.ElapsedSeconds();
     if (!record.ok()) {
       std::fprintf(stderr, " failed: %s\n",
                    record.status().ToString().c_str());
@@ -122,6 +147,15 @@ bool RunAll(const std::vector<Scenario>& scenarios, const Options& options,
     }
     const double* seconds = record->FindMetric("seconds");
     std::fprintf(stderr, " %.3fs\n", seconds != nullptr ? *seconds : 0.0);
+    if (options.time_budget_seconds > 0.0 &&
+        wall > options.time_budget_seconds) {
+      std::fprintf(stderr,
+                   "time budget exceeded: %s took %.1fs wall "
+                   "(--time-budget=%.0f) — shrink the scenario or raise the "
+                   "budget\n",
+                   scenario.name.c_str(), wall, options.time_budget_seconds);
+      *within_budget = false;
+    }
     records->push_back(std::move(record).value());
   }
   return true;
@@ -156,12 +190,15 @@ int Emit(const Options& options) {
     return 2;
   }
   std::vector<BenchRecord> records;
-  if (!RunAll(scenarios, options, {}, &records)) {
+  bool within_budget = true;
+  if (!RunAll(scenarios, options, {}, &records, &within_budget)) {
     return 1;
   }
-  return WriteRecords(records, options.out_dir.empty() ? "." : options.out_dir)
-             ? 0
-             : 1;
+  if (!WriteRecords(records,
+                    options.out_dir.empty() ? "." : options.out_dir)) {
+    return 1;
+  }
+  return within_budget ? 0 : 1;
 }
 
 int Check(const Options& options) {
@@ -175,16 +212,22 @@ int Check(const Options& options) {
     return 1;
   }
   std::vector<BenchRecord> records;
-  if (!RunAll(scenarios, options, {}, &records)) {
+  bool within_budget = true;
+  if (!RunAll(scenarios, options, {}, &records, &within_budget)) {
     return 1;
   }
+  // Write and diff what we measured even when the budget tripped: the
+  // uploaded records are the evidence of where the time went.
   if (!options.out_dir.empty() && !WriteRecords(records, options.out_dir)) {
     return 1;
   }
   const ComparisonReport report =
       tpsl::benchkit::CompareRecords(*baselines, records);
   std::printf("%s", report.ToString().c_str());
-  return report.passed ? 0 : 1;
+  if (!within_budget) {
+    std::printf("FAIL (time budget exceeded, see stderr)\n");
+  }
+  return report.passed && within_budget ? 0 : 1;
 }
 
 int Smoke(const Options& options) {
@@ -192,13 +235,34 @@ int Smoke(const Options& options) {
   if (!SelectScenarios(options, &scenarios)) {
     return 2;
   }
+  // Larger-tier scenarios would make tier-1 ctest generate and stream
+  // multi-hundred-MB datasets; the CI perf gate covers them. An
+  // explicit --scenario selection still runs them.
+  if (options.scenarios.empty()) {
+    size_t kept = 0, skipped = 0;
+    for (const Scenario& scenario : scenarios) {
+      if (scenario.large) {
+        ++skipped;
+      } else {
+        scenarios[kept++] = scenario;
+      }
+    }
+    scenarios.resize(kept);
+    if (skipped > 0) {
+      std::fprintf(stderr,
+                   "smoke: skipping %zu large-tier scenario(s); run them via "
+                   "--scenario or the perf gate\n",
+                   skipped);
+    }
+  }
   // Shrink far below the pinned scale: the smoke run exercises the
   // subsystem end to end in tier-1 ctest, it does not measure.
   RunScenarioOptions run_options;
   run_options.extra_scale_shift = 3;
   run_options.repeats = 1;  // smoke exercises the path, it doesn't time
   std::vector<BenchRecord> records;
-  if (!RunAll(scenarios, options, run_options, &records)) {
+  bool within_budget = true;
+  if (!RunAll(scenarios, options, run_options, &records, &within_budget)) {
     return 1;
   }
   // Per-kind metric contract (ingest scans have no partition quality).
@@ -223,7 +287,7 @@ int Smoke(const Options& options) {
   }
   std::printf("smoke: %zu scenarios ran, metrics %s\n", records.size(),
               ok ? "ok" : "BROKEN");
-  return ok ? 0 : 1;
+  return ok && within_budget ? 0 : 1;
 }
 
 }  // namespace
@@ -257,6 +321,22 @@ int main(int argc, char** argv) {
       options.catalog_path = value;
     } else if (ParseFlag(arg, "--datasets", &value)) {
       options.dataset_dir = value;
+    } else if (ParseFlag(arg, "--threads", &value)) {
+      if (!tpsl::benchkit::ParseThreadCount(value.c_str(),
+                                            &options.threads)) {
+        std::fprintf(stderr, "bad --threads '%s' (want 1..1024)\n",
+                     value.c_str());
+        return Usage(argv[0]);
+      }
+    } else if (ParseFlag(arg, "--time-budget", &value)) {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || !(parsed > 0.0)) {
+        std::fprintf(stderr, "bad --time-budget '%s' (want seconds > 0)\n",
+                     value.c_str());
+        return Usage(argv[0]);
+      }
+      options.time_budget_seconds = parsed;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg);
       return Usage(argv[0]);
