@@ -1,15 +1,15 @@
 // Social-network scenario (the paper's OK/TW/FR motivation): a skewed
 // power-law graph must be split across 32 workers for distributed
 // processing. Compares the streaming partitioner roster on replication
-// factor vs run-time, the paper's central trade-off, and writes the
-// winning partitioning to per-partition binary edge lists — the
-// hand-off format for a downstream loader.
+// factor vs run-time, the paper's central trade-off — quality is
+// computed by the runner's streaming sink, so the sweep never
+// materializes a partitioning — and then re-runs the winner with the
+// spill sink to write per-partition binary edge lists, the hand-off
+// format for a downstream loader.
 #include <cstdio>
 #include <string>
-#include <vector>
 
 #include "baselines/registry.h"
-#include "graph/binary_edge_list.h"
 #include "graph/datasets.h"
 #include "graph/in_memory_edge_stream.h"
 #include "partition/runner.h"
@@ -25,7 +25,6 @@ int main() {
 
   std::string best_name;
   double best_rf = 1e30;
-  std::vector<std::vector<tpsl::Edge>> best_partitions;
 
   for (const std::string& name : tpsl::StreamingPartitionerNames()) {
     auto partitioner_or = tpsl::MakePartitioner(name);
@@ -35,10 +34,7 @@ int main() {
     tpsl::InMemoryEdgeStream stream(*edges_or);
     tpsl::PartitionConfig config;
     config.num_partitions = 32;
-    tpsl::RunOptions options;
-    options.keep_partitions = true;
-    auto result =
-        tpsl::RunPartitioner(**partitioner_or, stream, config, options);
+    auto result = tpsl::RunPartitioner(**partitioner_or, stream, config);
     if (!result.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
                    result.status().ToString().c_str());
@@ -51,23 +47,32 @@ int main() {
     if (result->quality.replication_factor < best_rf) {
       best_rf = result->quality.replication_factor;
       best_name = name;
-      best_partitions = std::move(result->partitions);
     }
   }
 
-  // Persist the best partitioning: one binary edge list per partition,
-  // ready for ingestion by a distributed processing framework.
+  // Persist the best partitioning: re-run the winner with the
+  // disk-backed spill sink, which streams each assignment straight to
+  // its partition file as it is made.
   std::printf("\nbest streaming partitioner: %s (rf=%.3f)\n",
               best_name.c_str(), best_rf);
-  for (size_t p = 0; p < best_partitions.size(); ++p) {
-    const std::string path =
-        "/tmp/tpsl_social_part_" + std::to_string(p) + ".bin";
-    if (!tpsl::WriteBinaryEdgeList(path, best_partitions[p]).ok()) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return 1;
-    }
+  auto winner_or = tpsl::MakePartitioner(best_name);
+  if (!winner_or.ok()) {
+    return 1;
   }
-  std::printf("wrote %zu partition files to /tmp/tpsl_social_part_*.bin\n",
-              best_partitions.size());
+  tpsl::InMemoryEdgeStream stream(*edges_or);
+  tpsl::PartitionConfig config;
+  config.num_partitions = 32;
+  tpsl::RunOptions options;
+  options.spill_dir = "/tmp/tpsl_social_spill";
+  options.spill_stem = "social";
+  auto spilled = tpsl::RunPartitioner(**winner_or, stream, config, options);
+  if (!spilled.ok()) {
+    std::fprintf(stderr, "%s\n", spilled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu partition files (%.1f MB) to %s.part*.bin\n",
+              spilled->spill.partition_paths.size(),
+              static_cast<double>(spilled->spill.bytes_written) / 1e6,
+              spilled->spill.prefix.c_str());
   return 0;
 }

@@ -92,7 +92,18 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric) {
     return {.rel = 2.0, .abs_floor = 0.05, .upper_only = true,
             .informational = false};
   }
-  if (metric.starts_with("phase_seconds/") || metric == "peak_rss_bytes") {
+  if (metric == "max_rss_bytes") {
+    // The out-of-core honesty gate (disk-backed scenarios only):
+    // resident memory must be bounded by algorithm state + fixed
+    // buffers, never by |E|. Upper-only with a generous band —
+    // allocator arenas and libc versions move RSS by megabytes — but
+    // an O(|E|) edge-set rematerialization blows far past +50% on the
+    // pinned out-of-core tiers. Faster/leaner runs pass as IMPROVED.
+    return {.rel = 0.5, .abs_floor = 16.0 * 1024 * 1024, .upper_only = true,
+            .informational = false};
+  }
+  if (metric.starts_with("phase_seconds/") || metric == "peak_rss_bytes" ||
+      metric == "spill_bytes_written") {
     return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
             .informational = true};
   }

@@ -63,6 +63,15 @@ const std::vector<Scenario>& PinnedScenarios() {
        "larger-tier out-of-core parallel 2PS-L (8M edges), 4 workers",
        "2PS-L(par)", "rmat_s20", 32, 0, 42, 4, ScenarioKind::kDiskPartition,
        /*large=*/true},
+      // Full out-of-core loop at the largest pinned tier: graph on
+      // disk, streaming quality/validation sinks (no edge lists), and
+      // partitions spilled back to disk through the writer sink. The
+      // gated max_rss_bytes is the proof that resident memory stays
+      // O(|V|·k) while 33M edges flow storage-to-storage.
+      {"2psl_rmat_s22_k32_spill",
+       "larger-tier out-of-core 2PS-L (33M edges), spill-to-disk",
+       "2PS-L", "rmat_s22", 32, 0, 42, 1, ScenarioKind::kDiskPartition,
+       /*large=*/true, /*spill=*/true},
   };
   return *scenarios;
 }

@@ -51,6 +51,12 @@ struct Scenario {
   /// the CI perf gate under bench_runner's --time-budget, skipped by
   /// the tier-1 --smoke sweep unless explicitly selected.
   bool large = false;
+  /// kDiskPartition only: stream the assignments back to disk through
+  /// the PartitionedWriter spill sink (one binary edge list per
+  /// partition) — the paper's full out-of-core loop, storage to
+  /// storage. Spilled files are deleted after measurement; the record
+  /// carries "spill_bytes_written".
+  bool spill = false;
 };
 
 /// Short label for --list output ("memory", "disk", "ingest").

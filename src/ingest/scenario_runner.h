@@ -22,6 +22,10 @@ struct ScenarioRunContext {
   benchkit::RunScenarioOptions options;
   /// Per-buffer size of the double-buffered prefetching reader.
   size_t prefetch_buffer_edges = 256 * 1024;
+  /// Where spill-to-disk scenarios write their partition files
+  /// (deleted after measurement). Deliberately not under dataset_dir:
+  /// CI caches the dataset dir and must not cache transient spill.
+  std::string spill_dir = "bench/.spill";
 };
 
 /// Kind-dispatching scenario runner: in-memory scenarios delegate to
@@ -32,7 +36,10 @@ struct ScenarioRunContext {
 ///
 /// Disk records add metrics on top of benchkit's usual set:
 ///   kDiskPartition: "io_bytes_per_pass" (= file bytes, deterministic),
-///     "io_passes" (partitioner passes over the file, deterministic)
+///     "io_passes" (partitioner passes over the file, deterministic),
+///     "max_rss_bytes" (gated upper-only — the out-of-core honesty
+///     check that resident memory stays bounded), and for spill
+///     scenarios "spill_bytes_written" (informational)
 ///   kIngestScan: "seconds" (fastest prefetched scan), "num_edges",
 ///     "file_bytes" (deterministic), "edges_per_second",
 ///     "mb_per_second", "plain_seconds" (informational)

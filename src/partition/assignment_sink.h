@@ -2,6 +2,7 @@
 #define TPSL_PARTITION_ASSIGNMENT_SINK_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <utility>
 #include <vector>
 
@@ -13,11 +14,22 @@ namespace tpsl {
 /// are made. Mirrors the paper's implementation note: the partitioner
 /// "writes back the partitioned graph data to storage" — a sink is the
 /// seam where that write-back (or any consumer) plugs in.
+///
+/// Sinks compose into a pipeline: the runner fans one assignment out to
+/// several sinks through a TeeSink (quality, validation, spill-to-disk,
+/// optional in-memory materialization), so measurement never forces
+/// edge-set materialization.
 class AssignmentSink {
  public:
   virtual ~AssignmentSink() = default;
 
   virtual void Assign(const Edge& edge, PartitionId partition) = 0;
+
+  /// Bytes of heap memory this sink holds. Feeds the whole-run
+  /// state-bytes accounting (paper Fig. 4 memory column): partitioner
+  /// state alone under-reports a run whose sinks keep replication
+  /// bitsets or writer buffers alive.
+  virtual uint64_t StateBytes() const { return 0; }
 };
 
 /// Counts edges per partition; the cheapest sink for quality metrics.
@@ -37,12 +49,18 @@ class CountingSink : public AssignmentSink {
     return sum;
   }
 
+  uint64_t StateBytes() const override {
+    return loads_.capacity() * sizeof(uint64_t);
+  }
+
  private:
   std::vector<uint64_t> loads_;
 };
 
 /// Materializes per-partition edge lists; used by the distributed
-/// processing simulator and by partitioned-output writers.
+/// processing simulator and by partitioned-output writers. Costs
+/// O(|E|) memory — the runner only adds it to the pipeline when the
+/// caller explicitly opts in (RunOptions::keep_partitions).
 class EdgeListSink : public AssignmentSink {
  public:
   explicit EdgeListSink(uint32_t num_partitions) : partitions_(num_partitions) {}
@@ -60,23 +78,49 @@ class EdgeListSink : public AssignmentSink {
     return std::move(partitions_);
   }
 
+  uint64_t StateBytes() const override {
+    uint64_t bytes = partitions_.capacity() * sizeof(std::vector<Edge>);
+    for (const std::vector<Edge>& part : partitions_) {
+      bytes += part.capacity() * sizeof(Edge);
+    }
+    return bytes;
+  }
+
  private:
   std::vector<std::vector<Edge>> partitions_;
 };
 
-/// Fans one assignment out to several sinks.
+/// Fans one assignment out to any number of sinks, in order. The
+/// runner's pipeline hub: quality, validation, spill and optional
+/// materialization all hang off one TeeSink.
 class TeeSink : public AssignmentSink {
  public:
-  TeeSink(AssignmentSink* a, AssignmentSink* b) : a_(a), b_(b) {}
+  TeeSink() = default;
+  explicit TeeSink(std::vector<AssignmentSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+  TeeSink(std::initializer_list<AssignmentSink*> sinks) : sinks_(sinks) {}
+
+  void Add(AssignmentSink* sink) { sinks_.push_back(sink); }
 
   void Assign(const Edge& edge, PartitionId partition) override {
-    a_->Assign(edge, partition);
-    b_->Assign(edge, partition);
+    for (AssignmentSink* sink : sinks_) {
+      sink->Assign(edge, partition);
+    }
   }
 
+  /// Sum over the attached sinks (the tee itself holds only pointers).
+  uint64_t StateBytes() const override {
+    uint64_t bytes = sinks_.capacity() * sizeof(AssignmentSink*);
+    for (const AssignmentSink* sink : sinks_) {
+      bytes += sink->StateBytes();
+    }
+    return bytes;
+  }
+
+  size_t num_sinks() const { return sinks_.size(); }
+
  private:
-  AssignmentSink* a_;
-  AssignmentSink* b_;
+  std::vector<AssignmentSink*> sinks_;
 };
 
 }  // namespace tpsl

@@ -44,6 +44,17 @@ void PartitionedWriter::Assign(const Edge& edge, PartitionId partition) {
   ++edge_counts_[partition];
 }
 
+uint64_t PartitionedWriter::StateBytes() const {
+  uint64_t open_files = 0;
+  for (const std::FILE* file : files_) {
+    open_files += file != nullptr ? 1 : 0;
+  }
+  // stdio allocates one BUFSIZ buffer per stream on first write.
+  return open_files * static_cast<uint64_t>(BUFSIZ) +
+         files_.capacity() * sizeof(std::FILE*) +
+         edge_counts_.capacity() * sizeof(uint64_t);
+}
+
 Status PartitionedWriter::Finish() {
   if (finished_) {
     return Status::FailedPrecondition("Finish() called twice");

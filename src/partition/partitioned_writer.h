@@ -40,6 +40,18 @@ class PartitionedWriter : public AssignmentSink {
 
   const std::vector<uint64_t>& edge_counts() const { return edge_counts_; }
 
+  /// Total payload bytes streamed to disk so far.
+  uint64_t bytes_written() const {
+    uint64_t edges = 0;
+    for (uint64_t count : edge_counts_) edges += count;
+    return edges * sizeof(Edge);
+  }
+
+  /// The writer's resident state: one stdio buffer per open partition
+  /// file plus the count vector — O(k), independent of |E|. Part of the
+  /// whole-run state accounting when the writer is the spill sink.
+  uint64_t StateBytes() const override;
+
  private:
   std::string prefix_;
   std::vector<std::FILE*> files_;

@@ -1,9 +1,14 @@
 #include "partition/runner.h"
 
-#include <limits>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
 #include <utility>
 
+#include "graph/binary_edge_list.h"
 #include "partition/assignment_sink.h"
+#include "partition/partitioned_writer.h"
+#include "partition/sink_pipeline.h"
 #include "util/timer.h"
 
 namespace tpsl {
@@ -15,34 +20,139 @@ StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
   RunResult result;
   result.partitioner_name = partitioner.name();
 
-  EdgeListSink sink(config.num_partitions);
+  const uint32_t k = config.num_partitions;
+  const uint64_t hint = stream.NumEdgesHint();
+  const bool cap_enforced = partitioner.enforces_balance_cap();
+
+  // The sink pipeline: quality always, validation unless disabled,
+  // materialization and spill on request. Everything is single-pass —
+  // each assignment fans out once through the tee as it is made.
+  StreamingQualitySink quality_sink(k);
+  ValidatingSink validating_sink(
+      k, options.validate && cap_enforced && hint != 0
+             ? config.PartitionCapacity(hint)
+             : ValidatingSink::kNoCapacity);
+  TeeSink pipeline({&quality_sink});
+  if (options.validate) {
+    pipeline.Add(&validating_sink);
+  }
+  std::optional<EdgeListSink> keep_sink;
+  if (options.keep_partitions) {
+    keep_sink.emplace(k);
+    pipeline.Add(&*keep_sink);
+  }
+  // A failed spill run must not leave partial partition files behind:
+  // the error Status carries no SpillInfo, so no caller could clean
+  // them up. Armed on spill creation, disarmed on success; declared
+  // before the writer so it fires after the files are closed.
+  struct SpillCleanup {
+    SpillInfo files;
+    bool armed = false;
+    ~SpillCleanup() {
+      if (armed) {
+        RemoveSpilledFiles(files);
+      }
+    }
+  } spill_cleanup;
+  std::optional<PartitionedWriter> spill_sink;
+  if (!options.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.spill_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create spill dir " + options.spill_dir +
+                             ": " + ec.message());
+    }
+    const std::string prefix =
+        (std::filesystem::path(options.spill_dir) / options.spill_stem)
+            .string();
+    spill_sink.emplace(prefix, k);
+    TPSL_RETURN_IF_ERROR(spill_sink->status());
+    pipeline.Add(&*spill_sink);
+    spill_cleanup.files.prefix = prefix;
+    for (PartitionId p = 0; p < k; ++p) {
+      spill_cleanup.files.partition_paths.push_back(
+          spill_sink->PartitionPath(p));
+    }
+    spill_cleanup.armed = true;
+  }
+
   WallTimer timer;
   TPSL_RETURN_IF_ERROR(
-      partitioner.Partition(stream, config, sink, &result.stats));
+      partitioner.Partition(stream, config, pipeline, &result.stats));
   // Some partitioners drive Next() manually instead of via ForEachEdge;
   // a stream that failed mid-pass looks like a short EOF to them.
   TPSL_RETURN_IF_ERROR(stream.Health());
+  // Whole-run state: the partitioner's own accounting plus the live
+  // sink-side state (replication bitsets, writer buffers, any opted-in
+  // edge lists) — snapshot before Finish() releases the writer.
+  result.stats.state_bytes += pipeline.StateBytes();
+  // Report a mid-stream capacity violation before paying for the spill
+  // manifest: the run is already known invalid.
+  if (options.validate) {
+    TPSL_RETURN_IF_ERROR(validating_sink.status());
+  }
+  if (spill_sink) {
+    TPSL_RETURN_IF_ERROR(spill_sink->Finish());
+  }
   result.wall_seconds = timer.ElapsedSeconds();
 
-  result.quality = ComputeQuality(sink.partitions());
+  result.quality = quality_sink.Quality();
   if (options.validate) {
     // Always check that every edge was assigned; check the hard cap
     // only for partitioners that promise it (stateless hashing does
     // not — the paper reports their measured α instead).
-    const uint64_t expected_edges = stream.NumEdgesHint() != 0
-                                        ? stream.NumEdgesHint()
-                                        : result.quality.num_edges;
-    const uint64_t capacity =
-        partitioner.enforces_balance_cap()
-            ? config.PartitionCapacity(expected_edges)
-            : std::numeric_limits<uint64_t>::max();
-    TPSL_RETURN_IF_ERROR(ValidatePartitioning(sink.partitions(),
-                                              expected_edges, capacity));
+    const uint64_t expected_edges =
+        hint != 0 ? hint : result.quality.num_edges;
+    const uint64_t capacity = cap_enforced
+                                  ? config.PartitionCapacity(expected_edges)
+                                  : ValidatingSink::kNoCapacity;
+    TPSL_RETURN_IF_ERROR(validating_sink.Finish(expected_edges, capacity));
   }
-  if (options.keep_partitions) {
-    result.partitions = sink.TakePartitions();
+  if (keep_sink) {
+    result.partitions = keep_sink->TakePartitions();
+  }
+  if (spill_sink) {
+    spill_cleanup.armed = false;  // success: the files are the result
+    result.spill = std::move(spill_cleanup.files);
+    result.spill.edge_counts = spill_sink->edge_counts();
+    result.spill.bytes_written = spill_sink->bytes_written();
   }
   return result;
+}
+
+StatusOr<std::vector<std::unique_ptr<EdgeStream>>> OpenSpilledPartitions(
+    const SpillInfo& spill) {
+  if (!spill.spilled()) {
+    return Status::FailedPrecondition(
+        "run did not spill (set RunOptions::spill_dir)");
+  }
+  std::vector<std::unique_ptr<EdgeStream>> streams;
+  streams.reserve(spill.partition_paths.size());
+  for (const std::string& path : spill.partition_paths) {
+    TPSL_ASSIGN_OR_RETURN(std::unique_ptr<BinaryFileEdgeStream> stream,
+                          BinaryFileEdgeStream::Open(path));
+    streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
+std::vector<EdgeStream*> StreamPointers(
+    const std::vector<std::unique_ptr<EdgeStream>>& streams) {
+  std::vector<EdgeStream*> pointers;
+  pointers.reserve(streams.size());
+  for (const std::unique_ptr<EdgeStream>& stream : streams) {
+    pointers.push_back(stream.get());
+  }
+  return pointers;
+}
+
+void RemoveSpilledFiles(const SpillInfo& spill) {
+  for (const std::string& path : spill.partition_paths) {
+    std::remove(path.c_str());
+  }
+  if (spill.spilled()) {
+    std::remove((spill.prefix + ".manifest").c_str());
+  }
 }
 
 }  // namespace tpsl

@@ -1,0 +1,60 @@
+#include "partition/sink_pipeline.h"
+
+#include <string>
+
+namespace tpsl {
+
+PartitionQuality StreamingQualitySink::Quality() const {
+  PartitionQuality quality;
+  quality.partition_sizes = loads_;
+  for (uint64_t load : loads_) {
+    quality.num_edges += load;
+  }
+  quality.num_covered_vertices = table_.CoveredVertices();
+  quality.replication_factor = table_.ReplicationFactor();
+  if (!loads_.empty()) {
+    quality.max_partition_size =
+        *std::max_element(loads_.begin(), loads_.end());
+    quality.min_partition_size =
+        *std::min_element(loads_.begin(), loads_.end());
+    if (quality.num_edges > 0) {
+      const double expected = static_cast<double>(quality.num_edges) /
+                              static_cast<double>(loads_.size());
+      quality.measured_alpha =
+          static_cast<double>(quality.max_partition_size) / expected;
+    }
+  }
+  return quality;
+}
+
+void ValidatingSink::Assign(const Edge& /*edge*/, PartitionId partition) {
+  const uint64_t load = ++loads_[partition];
+  if (load > capacity_ && status_.ok()) {
+    status_ = Status::FailedPrecondition(
+        "partition " + std::to_string(partition) + " exceeded capacity " +
+        std::to_string(capacity_) + " mid-stream");
+  }
+}
+
+Status ValidatingSink::Finish(uint64_t expected_edges,
+                              uint64_t capacity) const {
+  TPSL_RETURN_IF_ERROR(status_);
+  uint64_t total = 0;
+  for (size_t p = 0; p < loads_.size(); ++p) {
+    if (loads_[p] > capacity) {
+      return Status::FailedPrecondition(
+          "partition " + std::to_string(p) + " holds " +
+          std::to_string(loads_[p]) + " edges, capacity " +
+          std::to_string(capacity));
+    }
+    total += loads_[p];
+  }
+  if (total != expected_edges) {
+    return Status::FailedPrecondition(
+        "assigned " + std::to_string(total) + " edges, expected " +
+        std::to_string(expected_edges));
+  }
+  return Status::OK();
+}
+
+}  // namespace tpsl

@@ -1,0 +1,101 @@
+#ifndef TPSL_PARTITION_SINK_PIPELINE_H_
+#define TPSL_PARTITION_SINK_PIPELINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "partition/assignment_sink.h"
+#include "partition/metrics.h"
+#include "partition/replication_table.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Computes PartitionQuality online, one assignment at a time: per
+/// partition edge loads plus vertex replication through a
+/// ReplicationTable (per-vertex partition bitsets). O(|V|·k / 8 + |V|)
+/// state, never an edge list — the streaming replacement for running
+/// ComputeQuality over materialized partitions. ComputeQuality stays
+/// as the independent test oracle; the property suite asserts exact
+/// (bit-level) agreement on every registry partitioner.
+class StreamingQualitySink : public AssignmentSink {
+ public:
+  explicit StreamingQualitySink(uint32_t num_partitions)
+      : table_(0, num_partitions), loads_(num_partitions, 0) {}
+
+  void Assign(const Edge& edge, PartitionId partition) override {
+    const VertexId top = std::max(edge.first, edge.second);
+    table_.GrowVertices(top + 1);
+    table_.Set(edge.first, partition);
+    table_.Set(edge.second, partition);
+    ++loads_[partition];
+  }
+
+  /// The quality of everything assigned so far. Field-for-field the
+  /// same arithmetic as ComputeQuality, so the two agree exactly.
+  PartitionQuality Quality() const;
+
+  const std::vector<uint64_t>& loads() const { return loads_; }
+
+  uint64_t StateBytes() const override {
+    return table_.HeapBytes() + loads_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  ReplicationTable table_;
+  std::vector<uint64_t> loads_;
+};
+
+/// Enforces the partitioning contract as assignments arrive: when the
+/// per-partition capacity is known up front (the stream published an
+/// edge-count hint), the first over-capacity assignment latches a
+/// FailedPrecondition, pinning the violation to the exact assignment
+/// that caused it. Sinks cannot abort the partitioner, so the pass
+/// still completes; the runner reports the latched status as soon as
+/// the pass ends (before finalizing any spill output). Finish()
+/// settles the parts that need the final totals: every edge assigned
+/// exactly once, and the capacity re-check for hint-less streams
+/// whose cap could only be computed at the end.
+class ValidatingSink : public AssignmentSink {
+ public:
+  /// `streaming_capacity` is the hard per-partition cap to enforce
+  /// online, or kNoCapacity when it cannot be known before the end of
+  /// the stream.
+  static constexpr uint64_t kNoCapacity = ~uint64_t{0};
+
+  ValidatingSink(uint32_t num_partitions, uint64_t streaming_capacity)
+      : capacity_(streaming_capacity), loads_(num_partitions, 0) {}
+
+  void Assign(const Edge& edge, PartitionId partition) override;
+
+  /// First violation observed while streaming (sticky), OK otherwise.
+  const Status& status() const { return status_; }
+
+  /// Final contract check: total assignments equal `expected_edges`
+  /// and every partition is within `capacity`. Returns the sticky
+  /// streaming violation first if one was latched.
+  Status Finish(uint64_t expected_edges, uint64_t capacity) const;
+
+  const std::vector<uint64_t>& loads() const { return loads_; }
+
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (uint64_t load : loads_) sum += load;
+    return sum;
+  }
+
+  uint64_t StateBytes() const override {
+    return loads_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  uint64_t capacity_;
+  std::vector<uint64_t> loads_;
+  Status status_;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_PARTITION_SINK_PIPELINE_H_

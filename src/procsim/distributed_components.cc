@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "procsim/partition_streams.h"
+
 namespace tpsl {
 
 std::vector<VertexId> ReferenceComponents(const std::vector<Edge>& edges,
@@ -32,8 +34,7 @@ std::vector<VertexId> ReferenceComponents(const std::vector<Edge>& edges,
 }
 
 StatusOr<ComponentsResult> SimulateDistributedComponents(
-    const std::vector<std::vector<Edge>>& partitions,
-    const ClusterModel& cluster) {
+    const std::vector<EdgeStream*>& partitions, const ClusterModel& cluster) {
   if (partitions.empty()) {
     return Status::InvalidArgument("no partitions");
   }
@@ -41,62 +42,39 @@ StatusOr<ComponentsResult> SimulateDistributedComponents(
     return Status::InvalidArgument("num_workers must be positive");
   }
 
-  VertexId max_id = 0;
-  uint64_t num_edges = 0;
-  for (const auto& part : partitions) {
-    for (const Edge& e : part) {
-      max_id = std::max({max_id, e.first, e.second});
-      ++num_edges;
-    }
-  }
-  if (num_edges == 0) {
-    return Status::InvalidArgument("empty partitioning");
-  }
-  const VertexId n = max_id + 1;
-
   // Replica structure drives the per-iteration sync cost, exactly as
   // in the PageRank simulator.
-  uint64_t mirrors = 0;
-  {
-    std::vector<uint32_t> replicas(n, 0);
-    std::vector<uint32_t> seen_in(n, UINT32_MAX);
-    for (uint32_t p = 0; p < partitions.size(); ++p) {
-      for (const Edge& e : partitions[p]) {
-        for (const VertexId v : {e.first, e.second}) {
-          if (seen_in[v] != p) {
-            seen_in[v] = p;
-            ++replicas[v];
-          }
-        }
-      }
-    }
-    for (const uint32_t r : replicas) {
-      mirrors += r > 0 ? r - 1 : 0;
-    }
+  TPSL_ASSIGN_OR_RETURN(const PartitionTopology topology,
+                        DiscoverTopology(partitions, /*with_degrees=*/false));
+  if (topology.num_edges == 0) {
+    return Status::InvalidArgument("empty partitioning");
   }
+  const VertexId n = topology.num_vertices;
 
   std::vector<uint64_t> worker_edges(cluster.num_workers, 0);
   for (uint32_t p = 0; p < partitions.size(); ++p) {
-    worker_edges[p % cluster.num_workers] += partitions[p].size();
+    worker_edges[p % cluster.num_workers] += topology.partition_edges[p];
   }
   const uint64_t max_worker_edges =
       *std::max_element(worker_edges.begin(), worker_edges.end());
   const double seconds_per_iteration =
       static_cast<double>(max_worker_edges) * cluster.per_edge_ns * 1e-9 +
-      static_cast<double>(2 * mirrors) * cluster.per_message_ns * 1e-9 /
-          cluster.num_workers +
+      static_cast<double>(2 * topology.mirrors) * cluster.per_message_ns *
+          1e-9 / cluster.num_workers +
       cluster.per_iteration_ms * 1e-3;
 
   ComponentsResult result;
   result.labels.resize(n);
   std::iota(result.labels.begin(), result.labels.end(), 0);
 
+  // Min-label propagation until a fixed point; each round re-streams
+  // every partition from its backing storage.
   bool changed = true;
   while (changed) {
     changed = false;
     ++result.iterations;
-    for (const auto& part : partitions) {
-      for (const Edge& e : part) {
+    for (EdgeStream* part : partitions) {
+      TPSL_RETURN_IF_ERROR(ForEachEdge(*part, [&](const Edge& e) {
         const VertexId lo =
             std::min(result.labels[e.first], result.labels[e.second]);
         if (result.labels[e.first] != lo) {
@@ -107,13 +85,29 @@ StatusOr<ComponentsResult> SimulateDistributedComponents(
           result.labels[e.second] = lo;
           changed = true;
         }
-      }
+      }));
     }
   }
   result.simulated_seconds = result.iterations * seconds_per_iteration;
   result.total_messages =
-      static_cast<uint64_t>(2 * mirrors) * result.iterations;
+      static_cast<uint64_t>(2 * topology.mirrors) * result.iterations;
   return result;
+}
+
+StatusOr<ComponentsResult> SimulateDistributedComponents(
+    const std::vector<std::vector<Edge>>& partitions,
+    const ClusterModel& cluster) {
+  std::vector<VectorEdgeStream> streams;
+  streams.reserve(partitions.size());
+  for (const std::vector<Edge>& part : partitions) {
+    streams.emplace_back(part);
+  }
+  std::vector<EdgeStream*> pointers;
+  pointers.reserve(streams.size());
+  for (VectorEdgeStream& stream : streams) {
+    pointers.push_back(&stream);
+  }
+  return SimulateDistributedComponents(pointers, cluster);
 }
 
 }  // namespace tpsl

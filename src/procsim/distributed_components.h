@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/edge_stream.h"
 #include "graph/types.h"
 #include "procsim/distributed_pagerank.h"
 #include "util/status.h"
@@ -24,6 +25,14 @@ struct ComponentsResult {
   uint64_t total_messages = 0;
 };
 
+/// Stream-based core: partitions as restartable edge streams (e.g. the
+/// spilled partition files of a RunPartitioner run), re-read each
+/// label-propagation round — O(|V|) resident state.
+StatusOr<ComponentsResult> SimulateDistributedComponents(
+    const std::vector<EdgeStream*>& partitions, const ClusterModel& cluster);
+
+/// In-memory adapter over the stream-based core; results are identical
+/// for the same partitioning.
 StatusOr<ComponentsResult> SimulateDistributedComponents(
     const std::vector<std::vector<Edge>>& partitions,
     const ClusterModel& cluster);

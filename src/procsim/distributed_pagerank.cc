@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "procsim/partition_streams.h"
+
 namespace tpsl {
 
 StatusOr<DistributedRunResult> SimulateDistributedPageRank(
-    const std::vector<std::vector<Edge>>& partitions,
-    const PageRankConfig& pagerank, const ClusterModel& cluster) {
+    const std::vector<EdgeStream*>& partitions, const PageRankConfig& pagerank,
+    const ClusterModel& cluster) {
   if (partitions.empty()) {
     return Status::InvalidArgument("no partitions");
   }
@@ -14,55 +16,28 @@ StatusOr<DistributedRunResult> SimulateDistributedPageRank(
     return Status::InvalidArgument("num_workers must be positive");
   }
 
-  DistributedRunResult result;
-
-  // Discover the vertex universe, degrees, and the replica structure.
-  VertexId max_id = 0;
-  for (const auto& part : partitions) {
-    for (const Edge& e : part) {
-      max_id = std::max({max_id, e.first, e.second});
-      result.num_edges += 1;
-    }
-  }
-  if (result.num_edges == 0) {
+  // Discovery pass: vertex universe, degrees, replica structure. O(|V|)
+  // state; the edges stay on whatever storage backs the streams.
+  TPSL_ASSIGN_OR_RETURN(const PartitionTopology topology,
+                        DiscoverTopology(partitions, /*with_degrees=*/true));
+  if (topology.num_edges == 0) {
     return Status::InvalidArgument("empty partitioning");
   }
-  const VertexId n = max_id + 1;
+  const VertexId n = topology.num_vertices;
 
-  std::vector<uint32_t> degree(n, 0);
-  std::vector<uint32_t> replicas(n, 0);
-  {
-    std::vector<uint32_t> seen_in(n, UINT32_MAX);
-    for (uint32_t p = 0; p < partitions.size(); ++p) {
-      for (const Edge& e : partitions[p]) {
-        ++degree[e.first];
-        ++degree[e.second];
-        for (const VertexId v : {e.first, e.second}) {
-          if (seen_in[v] != p) {
-            seen_in[v] = p;
-            ++replicas[v];
-          }
-        }
-      }
-    }
-  }
-  for (const uint32_t r : replicas) {
-    result.total_replicas += r;
-  }
+  DistributedRunResult result;
+  result.num_edges = topology.num_edges;
+  result.total_replicas = topology.total_replicas;
   // Mirror sync: every replica beyond the master exchanges 2 messages
   // per iteration (partial sum up, fresh rank down).
-  uint64_t mirrors = 0;
-  for (const uint32_t r : replicas) {
-    mirrors += r > 0 ? r - 1 : 0;
-  }
-  const uint64_t messages_per_iteration = 2 * mirrors;
+  const uint64_t messages_per_iteration = 2 * topology.mirrors;
 
   // The slowest worker bounds per-iteration compute (workers hold
   // whole partitions; with k > workers, partitions are distributed
   // round-robin).
   std::vector<uint64_t> worker_edges(cluster.num_workers, 0);
   for (uint32_t p = 0; p < partitions.size(); ++p) {
-    worker_edges[p % cluster.num_workers] += partitions[p].size();
+    worker_edges[p % cluster.num_workers] += topology.partition_edges[p];
   }
   const uint64_t max_worker_edges =
       *std::max_element(worker_edges.begin(), worker_edges.end());
@@ -75,18 +50,21 @@ StatusOr<DistributedRunResult> SimulateDistributedPageRank(
   const double overhead_seconds_per_iter = cluster.per_iteration_ms * 1e-3;
 
   // --- Execute the actual PageRank math (real values, edge-parallel
-  // gather per partition == master-side aggregation). ---
+  // gather per partition == master-side aggregation). Each iteration
+  // re-streams every partition — the out-of-core access pattern of a
+  // disk-backed deployment. ---
   std::vector<double> rank(n, 1.0 / n);
   std::vector<double> acc(n, 0.0);
+  const std::vector<uint32_t>& degree = topology.degree;
   const double base = (1.0 - pagerank.damping) / n;
   for (uint32_t iter = 0; iter < pagerank.iterations; ++iter) {
     std::fill(acc.begin(), acc.end(), 0.0);
-    for (const auto& part : partitions) {
-      for (const Edge& e : part) {
+    for (EdgeStream* part : partitions) {
+      TPSL_RETURN_IF_ERROR(ForEachEdge(*part, [&](const Edge& e) {
         // Undirected gather: both endpoints contribute to each other.
         acc[e.second] += rank[e.first] / degree[e.first];
         acc[e.first] += rank[e.second] / degree[e.second];
-      }
+      }));
     }
     for (VertexId v = 0; v < n; ++v) {
       rank[v] = base + pagerank.damping * acc[v];
@@ -101,6 +79,22 @@ StatusOr<DistributedRunResult> SimulateDistributedPageRank(
                              network_seconds_per_iter +
                              overhead_seconds_per_iter);
   return result;
+}
+
+StatusOr<DistributedRunResult> SimulateDistributedPageRank(
+    const std::vector<std::vector<Edge>>& partitions,
+    const PageRankConfig& pagerank, const ClusterModel& cluster) {
+  std::vector<VectorEdgeStream> streams;
+  streams.reserve(partitions.size());
+  for (const std::vector<Edge>& part : partitions) {
+    streams.emplace_back(part);
+  }
+  std::vector<EdgeStream*> pointers;
+  pointers.reserve(streams.size());
+  for (VectorEdgeStream& stream : streams) {
+    pointers.push_back(&stream);
+  }
+  return SimulateDistributedPageRank(pointers, pagerank, cluster);
 }
 
 }  // namespace tpsl

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/edge_stream.h"
 #include "graph/types.h"
 #include "procsim/reference_pagerank.h"
 #include "util/status.h"
@@ -50,6 +51,19 @@ struct DistributedRunResult {
 ///   + per_iteration overhead,
 /// which makes processing time a direct function of the replication
 /// factor — the coupling the paper's Table IV demonstrates.
+///
+/// Partitions arrive as restartable edge streams — typically the
+/// spilled per-partition files of a RunPartitioner run
+/// (OpenSpilledPartitions), so processing holds O(|V|) state and
+/// re-reads edges from storage each iteration, never materializing a
+/// partition in memory.
+StatusOr<DistributedRunResult> SimulateDistributedPageRank(
+    const std::vector<EdgeStream*>& partitions, const PageRankConfig& pagerank,
+    const ClusterModel& cluster);
+
+/// In-memory adapter: wraps each materialized partition in a
+/// non-owning stream and runs the same simulation — results are
+/// bit-identical to the disk-backed path for the same partitioning.
 StatusOr<DistributedRunResult> SimulateDistributedPageRank(
     const std::vector<std::vector<Edge>>& partitions,
     const PageRankConfig& pagerank, const ClusterModel& cluster);

@@ -1,0 +1,45 @@
+#include "procsim/partition_streams.h"
+
+#include <cstdint>
+
+namespace tpsl {
+
+StatusOr<PartitionTopology> DiscoverTopology(
+    const std::vector<EdgeStream*>& partitions, bool with_degrees) {
+  PartitionTopology topology;
+  topology.partition_edges.assign(partitions.size(), 0);
+  std::vector<uint32_t> replicas;
+  std::vector<uint32_t> seen_in;
+  for (uint32_t p = 0; p < partitions.size(); ++p) {
+    TPSL_RETURN_IF_ERROR(ForEachEdge(*partitions[p], [&](const Edge& e) {
+      const VertexId top = std::max(e.first, e.second);
+      if (static_cast<size_t>(top) >= replicas.size()) {
+        replicas.resize(top + 1, 0);
+        seen_in.resize(top + 1, UINT32_MAX);
+        if (with_degrees) {
+          topology.degree.resize(top + 1, 0);
+        }
+      }
+      ++topology.partition_edges[p];
+      if (with_degrees) {
+        ++topology.degree[e.first];
+        ++topology.degree[e.second];
+      }
+      for (const VertexId v : {e.first, e.second}) {
+        if (seen_in[v] != p) {
+          seen_in[v] = p;
+          ++replicas[v];
+        }
+      }
+    }));
+    topology.num_edges += topology.partition_edges[p];
+  }
+  topology.num_vertices = static_cast<VertexId>(replicas.size());
+  for (const uint32_t r : replicas) {
+    topology.total_replicas += r;
+    topology.mirrors += r > 0 ? r - 1 : 0;
+  }
+  return topology;
+}
+
+}  // namespace tpsl

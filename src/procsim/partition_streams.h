@@ -1,0 +1,67 @@
+#ifndef TPSL_PROCSIM_PARTITION_STREAMS_H_
+#define TPSL_PROCSIM_PARTITION_STREAMS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "graph/edge_stream.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+
+/// Non-owning EdgeStream view over a materialized partition; lets the
+/// in-memory procsim entry points reuse the stream-based simulators
+/// without copying the edge lists.
+class VectorEdgeStream : public EdgeStream {
+ public:
+  explicit VectorEdgeStream(const std::vector<Edge>& edges)
+      : edges_(&edges) {}
+
+  Status Reset() override {
+    position_ = 0;
+    return Status::OK();
+  }
+
+  size_t Next(Edge* out, size_t capacity) override {
+    const size_t n = std::min(capacity, edges_->size() - position_);
+    if (n > 0) {
+      std::memcpy(out, edges_->data() + position_, n * sizeof(Edge));
+      position_ += n;
+    }
+    return n;
+  }
+
+  uint64_t NumEdgesHint() const override { return edges_->size(); }
+
+ private:
+  const std::vector<Edge>* edges_;
+  size_t position_ = 0;
+};
+
+/// What one discovery pass over the partition streams learns: the
+/// vertex universe, per-partition edge counts, the replica structure
+/// that drives simulated sync traffic, and (optionally) degrees. All
+/// O(|V| + k) state — the pass never materializes an edge.
+struct PartitionTopology {
+  VertexId num_vertices = 0;  // max vertex id + 1; 0 when no edges
+  uint64_t num_edges = 0;
+  std::vector<uint64_t> partition_edges;
+  /// Undirected degree per vertex; filled only when requested.
+  std::vector<uint32_t> degree;
+  /// Σ_v max(replicas(v) - 1, 0): replicas beyond the master.
+  uint64_t mirrors = 0;
+  /// Σ_v replicas(v).
+  uint64_t total_replicas = 0;
+};
+
+/// One sequential pass per partition stream. Streams are Reset() by
+/// the pass; a failing stream surfaces its Health() error.
+StatusOr<PartitionTopology> DiscoverTopology(
+    const std::vector<EdgeStream*>& partitions, bool with_degrees);
+
+}  // namespace tpsl
+
+#endif  // TPSL_PROCSIM_PARTITION_STREAMS_H_

@@ -302,6 +302,34 @@ TEST(ComparatorTest, ThreadMismatchIsConfigDrift) {
   EXPECT_NE(comparison.notes[0].find("threads"), std::string::npos);
 }
 
+TEST(ComparatorTest, MaxRssGatesOutOfCoreRegressions) {
+  // max_rss_bytes is the out-of-core honesty gate: upper-only, wide
+  // band + absolute floor for allocator noise, but an O(|E|)-sized
+  // rematerialization must fail.
+  const ToleranceSpec spec = DefaultToleranceFor("max_rss_bytes");
+  EXPECT_FALSE(spec.informational);
+  EXPECT_TRUE(spec.upper_only);
+
+  BenchRecord baseline = MakeRecord();
+  baseline.SetMetric("max_rss_bytes", 64.0 * 1024 * 1024);
+
+  // +10 MB: under the absolute floor — allocator/platform noise.
+  BenchRecord noisy = baseline;
+  noisy.SetMetric("max_rss_bytes", 74.0 * 1024 * 1024);
+  EXPECT_TRUE(CompareRecord(baseline, noisy).passed);
+
+  // Leaner run: improvement, never a failure (upper-only).
+  BenchRecord leaner = baseline;
+  leaner.SetMetric("max_rss_bytes", 16.0 * 1024 * 1024);
+  EXPECT_TRUE(CompareRecord(baseline, leaner).passed);
+
+  // 4x resident memory: the edge set came back — regression.
+  BenchRecord bloated = baseline;
+  bloated.SetMetric("max_rss_bytes", 256.0 * 1024 * 1024);
+  const ScenarioComparison comparison = CompareRecord(baseline, bloated);
+  EXPECT_FALSE(comparison.passed);
+}
+
 TEST(ComparatorTest, ParallelWallTimeIsInformational) {
   // Identical records except for wall time, at threads=4: multi-thread
   // wall time is machine-shape dependent and must never gate, while the

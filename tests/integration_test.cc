@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,38 @@ TEST(IntegrationTest, ThrottledPipelineCountsPassCost) {
   EXPECT_EQ(hdd.bytes_read(), 4 * edges_or->size() * sizeof(Edge));
   EXPECT_GT(hdd.SimulatedIoSeconds(), 0.0);
   std::remove(path.c_str());
+}
+
+/// A file truncated underneath an open stream must fail the whole
+/// streaming pipeline (quality/validation/spill sinks included) with
+/// the stream's health error — never measure a quietly shorter graph.
+TEST(IntegrationTest, TruncatedFileFailsTheSinkPipeline) {
+  auto edges_or = LoadDataset("OK", /*scale_shift=*/6);
+  ASSERT_TRUE(edges_or.ok());
+  const std::string path = testing::TempDir() + "/integration_truncated.bin";
+  ASSERT_TRUE(WriteBinaryEdgeList(path, *edges_or).ok());
+
+  auto stream_or = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(stream_or.ok());
+  // Truncate to half the edges after Open() recorded the full count.
+  std::filesystem::resize_file(path,
+                               (edges_or->size() / 2) * sizeof(Edge));
+
+  auto partitioner_or = MakePartitioner("2PS-L");
+  ASSERT_TRUE(partitioner_or.ok());
+  PartitionConfig config;
+  config.num_partitions = 8;
+  RunOptions options;
+  options.spill_dir = testing::TempDir() + "/integration_truncated_spill";
+  auto run_or = RunPartitioner(**partitioner_or, **stream_or, config,
+                               options);
+  ASSERT_FALSE(run_or.ok());
+  EXPECT_FALSE((*stream_or)->Health().ok());
+  // A failed spill run cleans up after itself: no partial partition
+  // files are left behind for a run that produced no result.
+  EXPECT_TRUE(std::filesystem::is_empty(options.spill_dir));
+  std::remove(path.c_str());
+  std::filesystem::remove_all(options.spill_dir);
 }
 
 /// Streaming partitioners agree between file-backed and in-memory

@@ -77,16 +77,18 @@ TEST(ParallelTwoPhaseTest, SingleThreadWorks) {
 TEST(ParallelTwoPhaseTest, SingleThreadMatchesSequential2pslExactly) {
   const auto edges = TestGraph();
 
+  RunOptions keep;
+  keep.keep_partitions = true;
   TwoPhasePartitioner sequential;
   InMemoryEdgeStream stream_a(edges);
   auto serial = RunPartitioner(sequential, stream_a, ConfigWithThreads(32, 1),
-                               {.keep_partitions = true});
+                               keep);
   ASSERT_TRUE(serial.ok());
 
   ParallelTwoPhasePartitioner parallel;
   InMemoryEdgeStream stream_b(edges);
   auto single = RunPartitioner(parallel, stream_b, ConfigWithThreads(32, 1),
-                               {.keep_partitions = true});
+                               keep);
   ASSERT_TRUE(single.ok());
 
   ASSERT_EQ(serial->partitions.size(), single->partitions.size());
@@ -104,10 +106,12 @@ TEST(ParallelTwoPhaseTest, SingleThreadMatchesSequentialHdrfExactly) {
 
   TwoPhasePartitioner::Options seq_options;
   seq_options.scoring = TwoPhasePartitioner::ScoringMode::kHdrf;
+  RunOptions keep;
+  keep.keep_partitions = true;
   TwoPhasePartitioner sequential(seq_options);
   InMemoryEdgeStream stream_a(edges);
   auto serial = RunPartitioner(sequential, stream_a, ConfigWithThreads(16, 1),
-                               {.keep_partitions = true});
+                               keep);
   ASSERT_TRUE(serial.ok());
 
   ParallelTwoPhasePartitioner::Options par_options;
@@ -115,7 +119,7 @@ TEST(ParallelTwoPhaseTest, SingleThreadMatchesSequentialHdrfExactly) {
   ParallelTwoPhasePartitioner parallel(par_options);
   InMemoryEdgeStream stream_b(edges);
   auto single = RunPartitioner(parallel, stream_b, ConfigWithThreads(16, 1),
-                               {.keep_partitions = true});
+                               keep);
   ASSERT_TRUE(single.ok());
 
   ASSERT_EQ(serial->partitions.size(), single->partitions.size());

@@ -8,6 +8,7 @@
 #include "partition/partitioner.h"
 #include "partition/replication_table.h"
 #include "partition/runner.h"
+#include "partition/sink_pipeline.h"
 
 namespace tpsl {
 namespace {
@@ -96,12 +97,95 @@ TEST(SinkTest, EdgeListSinkMaterializes) {
   EXPECT_EQ(taken.size(), 2u);
 }
 
-TEST(SinkTest, TeeSinkForwardsToBoth) {
-  CountingSink a(2), b(2);
-  TeeSink tee(&a, &b);
+TEST(SinkTest, TeeSinkFansOutToEverySink) {
+  CountingSink a(2), b(2), c(2);
+  TeeSink tee({&a, &b});
+  tee.Add(&c);
+  EXPECT_EQ(tee.num_sinks(), 3u);
   tee.Assign(Edge{0, 1}, 1);
   EXPECT_EQ(a.loads()[1], 1u);
   EXPECT_EQ(b.loads()[1], 1u);
+  EXPECT_EQ(c.loads()[1], 1u);
+}
+
+TEST(SinkTest, TeeSinkStateIsSumOfChildren) {
+  CountingSink a(4), b(4);
+  TeeSink tee({&a, &b});
+  EXPECT_GE(tee.StateBytes(), a.StateBytes() + b.StateBytes());
+}
+
+TEST(SinkTest, EmptyTeeSinkIsANoOp) {
+  TeeSink tee;
+  tee.Assign(Edge{0, 1}, 0);  // must not crash
+  EXPECT_EQ(tee.num_sinks(), 0u);
+}
+
+TEST(StreamingQualitySinkTest, MatchesOracleOnKnownPartitioning) {
+  // Same fixture as MetricsTest.QualityOfKnownPartitioning below.
+  std::vector<std::vector<Edge>> parts = {
+      {{0, 1}, {1, 2}, {2, 0}},
+      {{2, 3}},
+  };
+  StreamingQualitySink sink(2);
+  for (PartitionId p = 0; p < parts.size(); ++p) {
+    for (const Edge& e : parts[p]) {
+      sink.Assign(e, p);
+    }
+  }
+  const PartitionQuality streamed = sink.Quality();
+  const PartitionQuality oracle = ComputeQuality(parts);
+  EXPECT_DOUBLE_EQ(streamed.replication_factor, oracle.replication_factor);
+  EXPECT_DOUBLE_EQ(streamed.measured_alpha, oracle.measured_alpha);
+  EXPECT_EQ(streamed.num_edges, oracle.num_edges);
+  EXPECT_EQ(streamed.num_covered_vertices, oracle.num_covered_vertices);
+  EXPECT_EQ(streamed.max_partition_size, oracle.max_partition_size);
+  EXPECT_EQ(streamed.min_partition_size, oracle.min_partition_size);
+  EXPECT_EQ(streamed.partition_sizes, oracle.partition_sizes);
+}
+
+TEST(StreamingQualitySinkTest, EmptyQualityIsZero) {
+  StreamingQualitySink sink(3);
+  const PartitionQuality quality = sink.Quality();
+  EXPECT_DOUBLE_EQ(quality.replication_factor, 0.0);
+  EXPECT_EQ(quality.num_edges, 0u);
+  EXPECT_EQ(quality.partition_sizes, (std::vector<uint64_t>{0, 0, 0}));
+}
+
+TEST(StreamingQualitySinkTest, StateGrowsWithVerticesNotEdges) {
+  StreamingQualitySink sink(4);
+  for (int repeat = 0; repeat < 1000; ++repeat) {
+    sink.Assign(Edge{0, 1}, 0);  // same two vertices, many edges
+  }
+  const uint64_t bytes_small_v = sink.StateBytes();
+  sink.Assign(Edge{50000, 50001}, 1);
+  EXPECT_GT(sink.StateBytes(), bytes_small_v);
+  // O(|V|*k) bitset + O(|V|) counts, nowhere near edge-list scale.
+  EXPECT_LT(sink.StateBytes(), uint64_t{50002} * 4 / 8 + 50002 * 8 + 4096);
+}
+
+TEST(ValidatingSinkTest, LatchesMidStreamCapViolation) {
+  ValidatingSink sink(2, /*streaming_capacity=*/2);
+  sink.Assign(Edge{0, 1}, 0);
+  sink.Assign(Edge{1, 2}, 0);
+  EXPECT_TRUE(sink.status().ok());
+  sink.Assign(Edge{2, 3}, 0);
+  EXPECT_EQ(sink.status().code(), StatusCode::kFailedPrecondition);
+  // Finish reports the latched violation regardless of final totals.
+  EXPECT_EQ(sink.Finish(3, 100).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidatingSinkTest, FinishChecksTotalsAndLateCapacity) {
+  ValidatingSink sink(2, ValidatingSink::kNoCapacity);
+  sink.Assign(Edge{0, 1}, 0);
+  sink.Assign(Edge{1, 2}, 1);
+  EXPECT_TRUE(sink.status().ok());
+  EXPECT_TRUE(sink.Finish(2, 1).ok());
+  EXPECT_EQ(sink.Finish(3, 1).code(), StatusCode::kFailedPrecondition);
+  sink.Assign(Edge{2, 3}, 0);
+  // Capacity only computable at the end (hint-less stream): Finish
+  // still enforces it.
+  EXPECT_EQ(sink.Finish(3, 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sink.total(), 3u);
 }
 
 TEST(MetricsTest, QualityOfKnownPartitioning) {
@@ -184,6 +268,104 @@ TEST(RunnerTest, CatchesCapViolation) {
   auto result = RunPartitioner(partitioner, stream, config);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RunnerTest, StreamingQualityMatchesOracleWithoutKeptPartitions) {
+  // The default measurement path: no edge lists kept, quality from the
+  // streaming sink must equal the from-scratch oracle on the same run.
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i < 500; ++i) {
+    edges.push_back(Edge{i % 97, (i * 7 + 3) % 89});
+  }
+  InMemoryEdgeStream stream(edges);
+  OverloadingPartitioner all_in_one;  // deterministic sink pattern
+  PartitionConfig config;
+  config.num_partitions = 3;
+  RunOptions options;
+  options.validate = false;  // Overloader ignores the cap by design
+  options.keep_partitions = true;
+  auto result = RunPartitioner(all_in_one, stream, config, options);
+  ASSERT_TRUE(result.ok());
+  const PartitionQuality oracle = ComputeQuality(result->partitions);
+  EXPECT_DOUBLE_EQ(result->quality.replication_factor,
+                   oracle.replication_factor);
+  EXPECT_DOUBLE_EQ(result->quality.measured_alpha, oracle.measured_alpha);
+  EXPECT_EQ(result->quality.partition_sizes, oracle.partition_sizes);
+}
+
+TEST(RunnerTest, SinkStateCountsTowardStateBytes) {
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i < 200; ++i) {
+    edges.push_back(Edge{i, i + 1});
+  }
+  OverloadingPartitioner partitioner;  // reports no state of its own
+  PartitionConfig config;
+  config.num_partitions = 4;
+  RunOptions options;
+  options.validate = false;
+
+  InMemoryEdgeStream stream_a(edges);
+  auto streaming = RunPartitioner(partitioner, stream_a, config, options);
+  ASSERT_TRUE(streaming.ok());
+  // The quality sink's replication bitsets are real state: reported.
+  EXPECT_GT(streaming->stats.state_bytes, 0u);
+
+  InMemoryEdgeStream stream_b(edges);
+  options.keep_partitions = true;
+  auto kept = RunPartitioner(partitioner, stream_b, config, options);
+  ASSERT_TRUE(kept.ok());
+  // Opting into materialization must show up in the accounting.
+  EXPECT_GT(kept->stats.state_bytes,
+            streaming->stats.state_bytes + 200 * sizeof(Edge) - 1);
+}
+
+/// Stream whose pass "fails" after a few edges: Next() returns 0 and
+/// Health() latches an I/O error, like a truncated or unreadable file.
+class FailingEdgeStream : public EdgeStream {
+ public:
+  explicit FailingEdgeStream(size_t fail_after) : fail_after_(fail_after) {}
+
+  Status Reset() override {
+    delivered_ = 0;
+    return Status::OK();
+  }
+
+  size_t Next(Edge* out, size_t capacity) override {
+    if (delivered_ >= fail_after_) {
+      health_ = Status::IoError("simulated read failure");
+      return 0;
+    }
+    const size_t n = std::min(capacity, fail_after_ - delivered_);
+    for (size_t i = 0; i < n; ++i) {
+      const VertexId v = static_cast<VertexId>(delivered_ + i);
+      out[i] = Edge{v, v + 1};
+    }
+    delivered_ += n;
+    return n;
+  }
+
+  uint64_t NumEdgesHint() const override { return 1000; }  // lies: fails first
+
+  Status Health() const override { return health_; }
+
+ private:
+  size_t fail_after_;
+  size_t delivered_ = 0;
+  Status health_;
+};
+
+TEST(RunnerTest, FailingStreamSurfacesHealthNotShortGraph) {
+  // A mid-pass stream failure must fail the run with the stream's I/O
+  // error — never quietly measure a shorter graph through the pipeline.
+  FailingEdgeStream stream(/*fail_after=*/64);
+  OverloadingPartitioner partitioner;
+  PartitionConfig config;
+  config.num_partitions = 2;
+  RunOptions options;
+  options.validate = false;
+  auto result = RunPartitioner(partitioner, stream, config, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
 }
 
 }  // namespace

@@ -113,6 +113,45 @@ TEST_P(PartitionerContractTest, DeterministicUnderFixedSeed) {
   EXPECT_EQ(sink_a.partitions(), sink_b.partitions()) << name;
 }
 
+TEST_P(PartitionerContractTest, StreamingQualityMatchesOracleExactly) {
+  // The runner's default quality now comes from StreamingQualitySink
+  // (online loads + replication bitsets, no edge lists). ComputeQuality
+  // over the materialized partitions of the SAME run is the
+  // independent oracle; the two must agree bit for bit — same integer
+  // tallies, same double arithmetic — for every registry partitioner
+  // on every graph family and k. (DNE is scheduling-dependent across
+  // runs, but oracle and sink observe one identical run here.)
+  const auto& [name, kind, k] = GetParam();
+  auto partitioner_or = MakePartitioner(name);
+  ASSERT_TRUE(partitioner_or.ok());
+
+  const std::vector<Edge> edges = MakeGraph(kind);
+  InMemoryEdgeStream stream(edges);
+  PartitionConfig config;
+  config.num_partitions = k;
+  RunOptions options;
+  options.keep_partitions = true;
+
+  auto result = RunPartitioner(**partitioner_or, stream, config, options);
+  ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+
+  const PartitionQuality oracle = ComputeQuality(result->partitions);
+  EXPECT_DOUBLE_EQ(result->quality.replication_factor,
+                   oracle.replication_factor)
+      << name;
+  EXPECT_DOUBLE_EQ(result->quality.measured_alpha, oracle.measured_alpha)
+      << name;
+  EXPECT_EQ(result->quality.num_edges, oracle.num_edges) << name;
+  EXPECT_EQ(result->quality.num_covered_vertices,
+            oracle.num_covered_vertices)
+      << name;
+  EXPECT_EQ(result->quality.max_partition_size, oracle.max_partition_size)
+      << name;
+  EXPECT_EQ(result->quality.min_partition_size, oracle.min_partition_size)
+      << name;
+  EXPECT_EQ(result->quality.partition_sizes, oracle.partition_sizes) << name;
+}
+
 std::string ParamName(const testing::TestParamInfo<ParamType>& info) {
   std::string name = std::get<0>(info.param);
   for (char& c : name) {

@@ -126,8 +126,80 @@ TEST(DistributedComponentsTest, SingleChainTakesManyIterations) {
 }
 
 TEST(DistributedComponentsTest, InvalidInputs) {
-  EXPECT_FALSE(SimulateDistributedComponents({}, {}).ok());
-  EXPECT_FALSE(SimulateDistributedComponents({{}, {}}, {}).ok());
+  const std::vector<std::vector<Edge>> none;
+  EXPECT_FALSE(SimulateDistributedComponents(none, {}).ok());
+  const std::vector<std::vector<Edge>> empties = {{}, {}};
+  EXPECT_FALSE(SimulateDistributedComponents(empties, {}).ok());
+}
+
+TEST(SpillRunTest, SpilledFilesMatchKeptPartitionsExactly) {
+  // One run, two sinks: the EdgeListSink materialization and the
+  // PartitionedWriter spill see the same assignments, so the files on
+  // disk must read back as exactly the kept partitions.
+  RmatConfig rmat;
+  rmat.scale = 10;
+  const auto edges = GenerateRmat(rmat);
+  InMemoryEdgeStream stream(edges);
+  TwoPhasePartitioner partitioner;
+  PartitionConfig config;
+  config.num_partitions = 4;
+  RunOptions options;
+  options.keep_partitions = true;
+  options.spill_dir = testing::TempDir() + "/spill_run";
+  options.spill_stem = "rmat";
+  auto run = RunPartitioner(partitioner, stream, config, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  ASSERT_TRUE(run->spill.spilled());
+  ASSERT_EQ(run->spill.partition_paths.size(), 4u);
+  uint64_t total = 0;
+  for (PartitionId p = 0; p < 4; ++p) {
+    auto part = ReadBinaryEdgeList(run->spill.partition_paths[p]);
+    ASSERT_TRUE(part.ok());
+    EXPECT_EQ(*part, run->partitions[p]) << "partition " << p;
+    EXPECT_EQ(run->spill.edge_counts[p], part->size());
+    total += part->size();
+  }
+  EXPECT_EQ(total, edges.size());
+  EXPECT_EQ(run->spill.bytes_written, edges.size() * sizeof(Edge));
+
+  RemoveSpilledFiles(run->spill);
+}
+
+TEST(SpillRunTest, ComponentsFromSpilledFilesMatchInMemory) {
+  PlantedPartitionConfig pp;
+  pp.num_vertices = 1024;
+  pp.num_edges = 4000;
+  pp.num_communities = 32;
+  pp.intra_fraction = 1.0;
+  const auto edges = GeneratePlantedPartition(pp);
+
+  TwoPhasePartitioner partitioner;
+  InMemoryEdgeStream stream(edges);
+  PartitionConfig config;
+  config.num_partitions = 8;
+  RunOptions options;
+  options.keep_partitions = true;
+  options.spill_dir = testing::TempDir() + "/spill_cc";
+  options.spill_stem = "cc";
+  auto run = RunPartitioner(partitioner, stream, config, options);
+  ASSERT_TRUE(run.ok());
+
+  auto mem = SimulateDistributedComponents(run->partitions, {});
+  ASSERT_TRUE(mem.ok());
+
+  auto streams = OpenSpilledPartitions(run->spill);
+  ASSERT_TRUE(streams.ok()) << streams.status().ToString();
+  auto disk = SimulateDistributedComponents(StreamPointers(*streams), {});
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  EXPECT_EQ(mem->labels, disk->labels);
+  EXPECT_EQ(mem->iterations, disk->iterations);
+  EXPECT_EQ(mem->total_messages, disk->total_messages);
+  EXPECT_DOUBLE_EQ(mem->simulated_seconds, disk->simulated_seconds);
+
+  streams->clear();
+  RemoveSpilledFiles(run->spill);
 }
 
 }  // namespace

@@ -14,6 +14,9 @@
 //                     (default bench/catalog.json)
 //   --datasets=DIR    dataset cache dir for disk-backed scenarios,
 //                     generated on demand (default bench/.datasets)
+//   --spill-dir=DIR   where spill-to-disk scenarios write their
+//                     per-partition files (default bench/.spill;
+//                     deleted after measurement)
 //   --threads=N       override every scenario's pinned worker count
 //                     (records carry the override, so --check flags it
 //                     as config drift — exploration only)
@@ -64,6 +67,7 @@ struct Options {
   std::vector<std::string> scenarios;    // --scenario filters
   std::string catalog_path = "bench/catalog.json";
   std::string dataset_dir = "bench/.datasets";
+  std::string spill_dir = "bench/.spill";
   uint32_t threads = 0;                  // --threads override (0 = pinned)
   double time_budget_seconds = 0.0;      // --time-budget (0 = no guard)
 };
@@ -72,7 +76,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--list | --emit | --check=BASELINE_DIR | --smoke)"
                " [--out=DIR] [--scenario=NAME ...] [--catalog=FILE]"
-               " [--datasets=DIR] [--threads=N] [--time-budget=SECONDS]\n",
+               " [--datasets=DIR] [--spill-dir=DIR] [--threads=N]"
+               " [--time-budget=SECONDS]\n",
                argv0);
   return 2;
 }
@@ -114,7 +119,9 @@ int ListScenarios() {
                 s.name.c_str(), ScenarioKindLabel(s.kind),
                 s.partitioner.c_str(), s.dataset.c_str(), s.k, s.scale_shift,
                 static_cast<unsigned long long>(s.seed), s.threads,
-                s.large ? "large" : "std", s.description.c_str());
+                s.large ? (s.spill ? "lg+sp" : "large")
+                        : (s.spill ? "spill" : "std"),
+                s.description.c_str());
   }
   return 0;
 }
@@ -133,6 +140,7 @@ bool RunAll(const std::vector<Scenario>& scenarios, const Options& options,
   ScenarioRunContext context;
   context.catalog_path = options.catalog_path;
   context.dataset_dir = options.dataset_dir;
+  context.spill_dir = options.spill_dir;
   context.options = run_options;
   context.options.threads_override = options.threads;
   for (const Scenario& scenario : scenarios) {
@@ -321,6 +329,8 @@ int main(int argc, char** argv) {
       options.catalog_path = value;
     } else if (ParseFlag(arg, "--datasets", &value)) {
       options.dataset_dir = value;
+    } else if (ParseFlag(arg, "--spill-dir", &value)) {
+      options.spill_dir = value;
     } else if (ParseFlag(arg, "--threads", &value)) {
       if (!tpsl::benchkit::ParseThreadCount(value.c_str(),
                                             &options.threads)) {

@@ -16,6 +16,10 @@
 //   --threads=N       with --bench: additionally run an out-of-core
 //                     parallel 2PS-L over each dataset on N execution-
 //                     engine workers and report time + replication
+//   --spill=DIR       with --bench --threads: stream the partition
+//                     assignments back to DIR as one binary edge list
+//                     per partition (the full storage-to-storage
+//                     out-of-core loop); reports bytes written
 //
 // CI runs --generate (cache-backed via actions/cache keyed on the
 // catalog hash) and --verify before the bench_runner perf gate.
@@ -57,13 +61,14 @@ struct Options {
   std::vector<std::string> names;
   size_t chunk_edges = 1 << 20;
   uint32_t threads = 0;  // --bench: partition on N workers (0 = scan only)
+  std::string spill_dir;  // --bench: spill partitions to disk when set
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--describe | --generate | --verify | --pin |"
                " --bench) [--catalog=FILE] [--dir=DIR] [--name=NAME ...]"
-               " [--chunk-edges=N] [--threads=N]\n",
+               " [--chunk-edges=N] [--threads=N] [--spill=DIR]\n",
                argv0);
   return 2;
 }
@@ -275,7 +280,13 @@ int Bench(const Catalog& catalog, const Options& options) {
       tpsl::ParallelTwoPhasePartitioner partitioner;
       tpsl::PartitionConfig config;
       config.exec.threads = options.threads;
-      auto run = tpsl::RunPartitioner(partitioner, prefetched, config);
+      tpsl::RunOptions run_options;
+      if (!options.spill_dir.empty()) {
+        run_options.spill_dir = options.spill_dir;
+        run_options.spill_stem = entry.recipe.name;
+      }
+      auto run = tpsl::RunPartitioner(partitioner, prefetched, config,
+                                      run_options);
       if (!run.ok()) {
         std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
         return 1;
@@ -284,6 +295,12 @@ int Bench(const Catalog& catalog, const Options& options) {
                   entry.recipe.name.c_str(), config.num_partitions,
                   options.threads, run->stats.TotalSeconds(),
                   run->quality.replication_factor);
+      if (run->spill.spilled()) {
+        std::printf("%-14s spilled %.1f MB to %s.part*.bin\n",
+                    entry.recipe.name.c_str(),
+                    static_cast<double>(run->spill.bytes_written) / 1e6,
+                    run->spill.prefix.c_str());
+      }
     }
   }
   return 0;
@@ -319,6 +336,8 @@ int main(int argc, char** argv) {
                      value.c_str());
         return Usage(argv[0]);
       }
+    } else if (ParseFlag(arg, "--spill", &value)) {
+      options.spill_dir = value;
     } else if (ParseFlag(arg, "--chunk-edges", &value)) {
       char* end = nullptr;
       const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
