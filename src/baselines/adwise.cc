@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/scoring.h"
 #include "graph/degrees.h"
-#include "partition/replication_table.h"
+#include "partition/score_tables.h"
 #include "util/timer.h"
 
 namespace tpsl {
@@ -40,11 +39,9 @@ Status AdwisePartitioner::Partition(EdgeStream& stream,
   out.stream_passes += 1;
 
   ScopedTimer timer(&out.phase_seconds["partitioning"]);
-  const uint32_t k = config.num_partitions;
-  const uint64_t capacity = config.PartitionCapacity(degrees.num_edges);
-  ReplicationTable replicas(degrees.num_vertices(), k);
-  std::vector<uint64_t> loads(k, 0);
-  out.state_bytes = replicas.HeapBytes() + loads.size() * sizeof(uint64_t) +
+  ScoreTables tables(degrees.num_vertices(), config.num_partitions,
+                     config.PartitionCapacity(degrees.num_edges));
+  out.state_bytes = tables.HeapBytes() +
                     degrees.degrees.size() * sizeof(uint32_t) +
                     options_.window_size * sizeof(ScoredEdge);
 
@@ -52,36 +49,15 @@ Status AdwisePartitioner::Partition(EdgeStream& stream,
   window.reserve(options_.window_size);
 
   const auto score_edge = [&](const Edge& e) -> ScoredEdge {
-    const uint32_t du = degrees.degree(e.first);
-    const uint32_t dv = degrees.degree(e.second);
-    uint64_t max_load = 0, min_load = loads[0];
-    for (const uint64_t load : loads) {
-      max_load = std::max(max_load, load);
-      min_load = std::min(min_load, load);
-    }
-    ScoredEdge scored{e, kInvalidPartition, -1.0};
-    for (PartitionId p = 0; p < k; ++p) {
-      if (loads[p] >= capacity) {
-        continue;
-      }
-      const double score =
-          HdrfReplicationScore(replicas.Test(e.first, p),
-                               replicas.Test(e.second, p), du, dv) +
-          HdrfBalanceScore(loads[p], max_load, min_load, options_.lambda);
-      if (score > scored.best_score) {
-        scored.best_score = score;
-        scored.best_partition = p;
-      }
-    }
-    return scored;
+    const ScoreTables::Choice choice =
+        tables.PickHdrf(e, degrees.degree(e.first), degrees.degree(e.second),
+                        options_.lambda, /*respect_capacity=*/true);
+    return ScoredEdge{e, choice.partition, choice.score};
   };
 
   const auto assign = [&](const ScoredEdge& scored) {
-    const PartitionId p = scored.best_partition;
-    replicas.Set(scored.edge.first, p);
-    replicas.Set(scored.edge.second, p);
-    ++loads[p];
-    sink.Assign(scored.edge, p);
+    tables.Commit(scored.edge, scored.best_partition);
+    sink.Assign(scored.edge, scored.best_partition);
   };
 
   // Drains the most confident half of the window: re-scores every

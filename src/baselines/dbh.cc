@@ -1,6 +1,7 @@
 #include "baselines/dbh.h"
 
 #include "graph/degrees.h"
+#include "partition/score_tables.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -27,14 +28,23 @@ Status DbhPartitioner::Partition(EdgeStream& stream,
   ScopedTimer timer(&out.phase_seconds["partitioning"]);
   const uint32_t k = config.num_partitions;
   const uint64_t seed = config.seed;
-  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
-    // Hash the endpoint with the smaller degree (ties: smaller id).
-    const VertexId pivot =
-        degrees.degree(e.first) <= degrees.degree(e.second) ? e.first
-                                                            : e.second;
-    sink.Assign(
-        e, static_cast<PartitionId>(Mix64(HashCombine(seed, pivot)) % k));
-  }));
+  // DBH carries no partition state — its only random access is the
+  // degree table, so the kernel driver prefetches degree entries.
+  const uint32_t* degree_data = degrees.degrees.data();
+  TPSL_RETURN_IF_ERROR(ForEachEdgePrefetched(
+      stream,
+      [&](const Edge& e) {
+        __builtin_prefetch(degree_data + e.first, /*rw=*/0, /*locality=*/3);
+        __builtin_prefetch(degree_data + e.second, /*rw=*/0, /*locality=*/3);
+      },
+      [&](const Edge& e) {
+        // Hash the endpoint with the smaller degree (ties: smaller id).
+        const VertexId pivot =
+            degrees.degree(e.first) <= degrees.degree(e.second) ? e.first
+                                                                : e.second;
+        sink.Assign(
+            e, static_cast<PartitionId>(Mix64(HashCombine(seed, pivot)) % k));
+      }));
   out.stream_passes += 1;
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 
 #include "baselines/ne.h"
 #include "exec/thread_pool.h"
+#include "partition/score_tables.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -134,37 +135,31 @@ Status DnePartitioner::Partition(EdgeStream& stream,
 
   // Sequential epilogue: any edge left unclaimed (possible when
   // expansions exhausted their budgets around collisions) goes to the
-  // least-loaded partition; then emit everything in edge order.
-  std::vector<uint64_t> loads(k, 0);
+  // least-loaded partition; then emit everything in edge order. Only
+  // the load half of the kernel is needed (zero-vertex table).
+  const uint64_t capacity = config.PartitionCapacity(edges.size());
+  ScoreTables tables(0, k, capacity);
   for (const auto& slot : owner) {
     const PartitionId p = slot.load(std::memory_order_relaxed);
     if (p != kInvalidPartition) {
-      ++loads[p];
+      tables.AddLoad(p);
     }
   }
-  const uint64_t capacity = config.PartitionCapacity(edges.size());
   for (uint64_t id = 0; id < edges.size(); ++id) {
     PartitionId p = owner[id].load(std::memory_order_relaxed);
-    if (p == kInvalidPartition || loads[p] > capacity) {
+    if (p == kInvalidPartition || tables.load(p) > capacity) {
       if (p != kInvalidPartition) {
-        --loads[p];  // Over-claimed: move one edge out.
+        tables.SubLoad(p);  // Over-claimed: move one edge out.
       }
-      PartitionId best = 0;
-      for (PartitionId q = 1; q < k; ++q) {
-        if (loads[q] < loads[best]) {
-          best = q;
-        }
-      }
-      p = best;
-      ++loads[p];
+      p = tables.LeastLoaded();
+      tables.AddLoad(p);
       owner[id].store(p, std::memory_order_relaxed);
     }
     sink.Assign(edges[id], p);
   }
 
   out.state_bytes = edges.size() * sizeof(Edge) + adjacency.HeapBytes() +
-                    owner.size() * sizeof(PartitionId) +
-                    loads.size() * sizeof(uint64_t);
+                    owner.size() * sizeof(PartitionId) + tables.HeapBytes();
   return Status::OK();
 }
 

@@ -1,9 +1,7 @@
 #include "baselines/greedy.h"
 
-#include <vector>
-
 #include "graph/degrees.h"
-#include "partition/replication_table.h"
+#include "partition/score_tables.h"
 #include "util/timer.h"
 
 namespace tpsl {
@@ -28,51 +26,18 @@ Status GreedyPartitioner::Partition(EdgeStream& stream,
   out.stream_passes += 1;
 
   ScopedTimer timer(&out.phase_seconds["partitioning"]);
-  const uint32_t k = config.num_partitions;
-  const uint64_t capacity = config.PartitionCapacity(degrees.num_edges);
-  ReplicationTable replicas(degrees.num_vertices(), k);
-  std::vector<uint64_t> loads(k, 0);
-  out.state_bytes = replicas.HeapBytes() + loads.size() * sizeof(uint64_t) +
-                    degrees.degrees.size() * sizeof(uint32_t);
+  ScoreTables tables(degrees.num_vertices(), config.num_partitions,
+                     config.PartitionCapacity(degrees.num_edges));
+  out.state_bytes =
+      tables.HeapBytes() + degrees.degrees.size() * sizeof(uint32_t);
 
-  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
-    // One O(k) scan classifies every partition into the PowerGraph
-    // cases; full partitions are skipped to honor the hard cap.
-    PartitionId best_common = kInvalidPartition;
-    PartitionId best_either = kInvalidPartition;
-    PartitionId best_any = kInvalidPartition;
-    for (PartitionId p = 0; p < k; ++p) {
-      if (loads[p] >= capacity) {
-        continue;
-      }
-      const bool u_on = replicas.Test(e.first, p);
-      const bool v_on = replicas.Test(e.second, p);
-      if (u_on && v_on &&
-          (best_common == kInvalidPartition ||
-           loads[p] < loads[best_common])) {
-        best_common = p;
-      }
-      if ((u_on || v_on) &&
-          (best_either == kInvalidPartition ||
-           loads[p] < loads[best_either])) {
-        best_either = p;
-      }
-      if (best_any == kInvalidPartition || loads[p] < loads[best_any]) {
-        best_any = p;
-      }
-    }
-    PartitionId target = best_common;
-    if (target == kInvalidPartition) {
-      target = best_either;
-    }
-    if (target == kInvalidPartition) {
-      target = best_any;
-    }
-    replicas.Set(e.first, target);
-    replicas.Set(e.second, target);
-    ++loads[target];
-    sink.Assign(e, target);
-  }));
+  TPSL_RETURN_IF_ERROR(ForEachEdgePrefetched(
+      stream, [&](const Edge& e) { tables.PrefetchEdge(e); },
+      [&](const Edge& e) {
+        const PartitionId target = tables.PickGreedy(e);
+        tables.Commit(e, target);
+        sink.Assign(e, target);
+      }));
   out.stream_passes += 1;
   return Status::OK();
 }

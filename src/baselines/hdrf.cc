@@ -1,11 +1,9 @@
 #include "baselines/hdrf.h"
 
-#include <algorithm>
 #include <vector>
 
-#include "core/scoring.h"
 #include "graph/degrees.h"
-#include "partition/replication_table.h"
+#include "partition/score_tables.h"
 #include "util/timer.h"
 
 namespace tpsl {
@@ -32,45 +30,27 @@ Status HdrfPartitioner::Partition(EdgeStream& stream,
   out.stream_passes += 1;
 
   ScopedTimer timer(&out.phase_seconds["partitioning"]);
-  const uint32_t k = config.num_partitions;
-  const uint64_t capacity = config.PartitionCapacity(degrees.num_edges);
   const VertexId num_vertices = degrees.num_vertices();
 
-  ReplicationTable replicas(num_vertices, k);
-  std::vector<uint64_t> loads(k, 0);
+  ScoreTables tables(num_vertices, config.num_partitions,
+                     config.PartitionCapacity(degrees.num_edges));
   std::vector<uint32_t> partial_degree(num_vertices, 0);
-  out.state_bytes = replicas.HeapBytes() + loads.size() * sizeof(uint64_t) +
-                    partial_degree.size() * sizeof(uint32_t);
+  out.state_bytes =
+      tables.HeapBytes() + partial_degree.size() * sizeof(uint32_t);
 
-  uint64_t max_load = 0;
-  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
-    ++partial_degree[e.first];
-    ++partial_degree[e.second];
-    const uint32_t du = partial_degree[e.first];
-    const uint32_t dv = partial_degree[e.second];
-
-    const uint64_t min_load = *std::min_element(loads.begin(), loads.end());
-    double best_score = -1.0;
-    PartitionId target = kInvalidPartition;
-    for (PartitionId p = 0; p < k; ++p) {
-      if (loads[p] >= capacity) {
-        continue;  // Hard cap: full partitions are not candidates.
-      }
-      const double score =
-          HdrfReplicationScore(replicas.Test(e.first, p),
-                               replicas.Test(e.second, p), du, dv) +
-          HdrfBalanceScore(loads[p], max_load, min_load, options_.lambda);
-      if (score > best_score) {
-        best_score = score;
-        target = p;
-      }
-    }
-    replicas.Set(e.first, target);
-    replicas.Set(e.second, target);
-    ++loads[target];
-    max_load = std::max(max_load, loads[target]);
-    sink.Assign(e, target);
-  }));
+  TPSL_RETURN_IF_ERROR(ForEachEdgePrefetched(
+      stream, [&](const Edge& e) { tables.PrefetchEdge(e); },
+      [&](const Edge& e) {
+        ++partial_degree[e.first];
+        ++partial_degree[e.second];
+        const PartitionId target =
+            tables
+                .PickHdrf(e, partial_degree[e.first], partial_degree[e.second],
+                          options_.lambda, /*respect_capacity=*/true)
+                .partition;
+        tables.Commit(e, target);
+        sink.Assign(e, target);
+      }));
   out.stream_passes += 1;
   return Status::OK();
 }

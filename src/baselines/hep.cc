@@ -4,33 +4,28 @@
 #include <vector>
 
 #include "baselines/ne.h"
-#include "core/scoring.h"
 #include "graph/degrees.h"
-#include "partition/replication_table.h"
+#include "partition/score_tables.h"
 #include "util/timer.h"
 
 namespace tpsl {
 namespace {
 
-/// Forwards expansion assignments while maintaining the replication
-/// table and load counters shared with the streaming phase.
+/// Forwards expansion assignments while maintaining the shared score
+/// tables (replication matrix + loads) used by the streaming phase.
 class StateTrackingSink : public AssignmentSink {
  public:
-  StateTrackingSink(AssignmentSink* inner, ReplicationTable* replicas,
-                    std::vector<uint64_t>* loads)
-      : inner_(inner), replicas_(replicas), loads_(loads) {}
+  StateTrackingSink(AssignmentSink* inner, ScoreTables* tables)
+      : inner_(inner), tables_(tables) {}
 
   void Assign(const Edge& edge, PartitionId partition) override {
-    replicas_->Set(edge.first, partition);
-    replicas_->Set(edge.second, partition);
-    ++(*loads_)[partition];
+    tables_->Commit(edge, partition);
     inner_->Assign(edge, partition);
   }
 
  private:
   AssignmentSink* inner_;
-  ReplicationTable* replicas_;
-  std::vector<uint64_t>* loads_;
+  ScoreTables* tables_;
 };
 
 }  // namespace
@@ -58,7 +53,6 @@ Status HepPartitioner::Partition(EdgeStream& stream,
   ScopedTimer timer(&out.phase_seconds["partitioning"]);
   const uint32_t k = config.num_partitions;
   const uint64_t capacity = config.PartitionCapacity(degrees.num_edges);
-  const VertexId num_vertices = degrees.num_vertices();
 
   uint64_t covered = 0;
   for (const uint32_t d : degrees.degrees) {
@@ -73,9 +67,8 @@ Status HepPartitioner::Partition(EdgeStream& stream,
            degrees.degree(e.second) <= threshold;
   };
 
-  ReplicationTable replicas(num_vertices, k);
-  std::vector<uint64_t> loads(k, 0);
-  StateTrackingSink tracking_sink(&sink, &replicas, &loads);
+  ScoreTables tables(degrees.num_vertices(), k, capacity);
+  StateTrackingSink tracking_sink(&sink, &tables);
 
   // --- In-memory phase: collect and expand the low-degree edges. ---
   std::vector<Edge> low_edges;
@@ -103,41 +96,28 @@ Status HepPartitioner::Partition(EdgeStream& stream,
       expander.Expand(p, share, tracking_sink);
     }
     for (PartitionId p = 0; p < k && expander.UnclaimedEdges() > 0; ++p) {
-      expander.Expand(p, capacity - loads[p], tracking_sink);
+      expander.Expand(p, capacity - tables.load(p), tracking_sink);
     }
   }
 
   // --- Streaming phase: HDRF over the high-degree edges, seeded with
   // the replication state of the in-memory phase. ---
-  uint64_t max_load = *std::max_element(loads.begin(), loads.end());
-  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
-    if (is_low(e)) {
-      return;  // Already assigned in the in-memory phase.
-    }
-    const uint32_t du = degrees.degree(e.first);
-    const uint32_t dv = degrees.degree(e.second);
-    const uint64_t min_load = *std::min_element(loads.begin(), loads.end());
-    double best_score = -1.0;
-    PartitionId target = kInvalidPartition;
-    for (PartitionId p = 0; p < k; ++p) {
-      if (loads[p] >= capacity) {
-        continue;
-      }
-      const double score =
-          HdrfReplicationScore(replicas.Test(e.first, p),
-                               replicas.Test(e.second, p), du, dv) +
-          HdrfBalanceScore(loads[p], max_load, min_load, options_.lambda);
-      if (score > best_score) {
-        best_score = score;
-        target = p;
-      }
-    }
-    tracking_sink.Assign(e, target);
-    max_load = std::max(max_load, loads[target]);
-  }));
+  TPSL_RETURN_IF_ERROR(ForEachEdgePrefetched(
+      stream, [&](const Edge& e) { tables.PrefetchEdge(e); },
+      [&](const Edge& e) {
+        if (is_low(e)) {
+          return;  // Already assigned in the in-memory phase.
+        }
+        const PartitionId target =
+            tables
+                .PickHdrf(e, degrees.degree(e.first), degrees.degree(e.second),
+                          options_.lambda, /*respect_capacity=*/true)
+                .partition;
+        tracking_sink.Assign(e, target);
+      }));
   out.stream_passes += 1;
 
-  out.state_bytes = replicas.HeapBytes() + loads.size() * sizeof(uint64_t) +
+  out.state_bytes = tables.HeapBytes() +
                     degrees.degrees.size() * sizeof(uint32_t) +
                     expansion_bytes;
   return Status::OK();

@@ -39,7 +39,7 @@ Expander::Expander(const std::vector<Edge>* edges,
     : edges_(edges),
       adjacency_(adjacency),
       num_edges_(edges->size()),
-      edge_claimed_(edges->size(), false),
+      edge_claimed_(edges->size()),
       unclaimed_degree_(adjacency->num_vertices(), 0),
       seed_order_(adjacency->num_vertices()) {
   for (VertexId v = 0; v < adjacency->num_vertices(); ++v) {
@@ -64,10 +64,9 @@ uint64_t Expander::ClaimVertexEdges(VertexId v, PartitionId partition,
   const uint64_t end = adjacency_->offsets[v + 1];
   for (uint64_t i = begin; i < end && claimed < budget; ++i) {
     const uint64_t edge_id = adjacency_->edge_ids[i];
-    if (edge_claimed_[edge_id]) {
-      continue;
+    if (!edge_claimed_.TestAndSet(edge_id)) {
+      continue;  // Already claimed by an earlier expansion.
     }
-    edge_claimed_[edge_id] = true;
     const Edge& e = (*edges_)[edge_id];
     --unclaimed_degree_[e.first];
     --unclaimed_degree_[e.second];
@@ -136,7 +135,7 @@ uint64_t Expander::Expand(PartitionId partition, uint64_t budget,
 }
 
 uint64_t Expander::HeapBytes() const {
-  return edge_claimed_.size() / 8 +
+  return edge_claimed_.HeapBytes() +
          unclaimed_degree_.size() * sizeof(uint32_t) +
          seed_order_.size() * sizeof(VertexId);
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "partition/dense_bitset.h"
 #include "partition/partitioner.h"
 
 namespace tpsl {
@@ -69,7 +70,7 @@ class Expander {
   const IndexedAdjacency* adjacency_;
   uint64_t num_edges_;
   uint64_t claimed_total_ = 0;
-  std::vector<bool> edge_claimed_;
+  DenseBitset edge_claimed_;
   std::vector<uint32_t> unclaimed_degree_;
   // Vertices ordered by ascending (static) degree; seed cursor skips
   // exhausted ones.

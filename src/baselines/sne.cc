@@ -6,6 +6,7 @@
 
 #include "baselines/ne.h"
 #include "graph/degrees.h"
+#include "partition/score_tables.h"
 #include "util/timer.h"
 
 namespace tpsl {
@@ -16,19 +17,19 @@ namespace {
 /// real partition chosen for this expansion round.
 class RedirectSink : public AssignmentSink {
  public:
-  RedirectSink(AssignmentSink* inner, std::vector<uint64_t>* loads)
-      : inner_(inner), loads_(loads) {}
+  RedirectSink(AssignmentSink* inner, ScoreTables* tables)
+      : inner_(inner), tables_(tables) {}
 
   void SetTarget(PartitionId target) { target_ = target; }
 
   void Assign(const Edge& edge, PartitionId /*slot*/) override {
     inner_->Assign(edge, target_);
-    ++(*loads_)[target_];
+    tables_->AddLoad(target_);
   }
 
  private:
   AssignmentSink* inner_;
-  std::vector<uint64_t>* loads_;
+  ScoreTables* tables_;
   PartitionId target_ = 0;
 };
 
@@ -61,21 +62,10 @@ Status SnePartitioner::Partition(EdgeStream& stream,
   const uint64_t chunk_capacity = std::max<uint64_t>(
       1024, static_cast<uint64_t>(options_.cache_factor * num_vertices));
 
-  std::vector<uint64_t> loads(k, 0);
-  RedirectSink redirect(&sink, &loads);
-
-  const auto least_loaded_open = [&]() {
-    PartitionId best = kInvalidPartition;
-    for (PartitionId p = 0; p < k; ++p) {
-      if (loads[p] >= capacity) {
-        continue;
-      }
-      if (best == kInvalidPartition || loads[p] < loads[best]) {
-        best = p;
-      }
-    }
-    return best;
-  };
+  // Chunked expansion only needs the load half of the kernel; a
+  // zero-vertex table keeps the replica matrix empty.
+  ScoreTables tables(0, k, capacity);
+  RedirectSink redirect(&sink, &tables);
 
   std::vector<Edge> chunk;
   chunk.reserve(chunk_capacity);
@@ -101,10 +91,10 @@ Status SnePartitioner::Partition(EdgeStream& stream,
     const uint64_t round_share =
         std::max<uint64_t>(1, chunk.size() / k + 1);
     while (expander.UnclaimedEdges() > 0) {
-      const PartitionId target = least_loaded_open();
+      const PartitionId target = tables.LeastLoadedOpen();
       redirect.SetTarget(target);
       const uint64_t budget =
-          std::min<uint64_t>(round_share, capacity - loads[target]);
+          std::min<uint64_t>(round_share, capacity - tables.load(target));
       const uint64_t claimed = expander.Expand(target, budget, redirect);
       if (claimed == 0) {
         break;  // Defensive: should not happen while edges remain.
@@ -128,7 +118,7 @@ Status SnePartitioner::Partition(EdgeStream& stream,
   flush_chunk();
   out.stream_passes += 1;
   out.state_bytes = degrees.degrees.size() * sizeof(uint32_t) +
-                    loads.size() * sizeof(uint64_t) + peak_chunk_bytes;
+                    tables.HeapBytes() + peak_chunk_bytes;
   return Status::OK();
 }
 

@@ -41,7 +41,10 @@ std::string FormatCheck(const MetricCheck& check) {
         buf, sizeof(buf),
         "    %-28s baseline %.6g -> current %.6g (%+.1f%%, tol %s%.0f%%%s) %s",
         check.metric.c_str(), check.baseline, check.current,
-        100.0 * check.rel_delta, check.tolerance.upper_only ? "+" : "±",
+        100.0 * check.rel_delta,
+        !check.tolerance.upper_only        ? "±"
+        : check.tolerance.higher_is_better ? "-"
+                                           : "+",
         100.0 * check.tolerance.rel,
         check.tolerance.informational ? ", informational" : "",
         StatusLabel(check.status));
@@ -102,6 +105,21 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric) {
     return {.rel = 0.5, .abs_floor = 16.0 * 1024 * 1024, .upper_only = true,
             .informational = false};
   }
+  if (metric == "edges_per_sec/partitioning") {
+    // The hot-loop throughput gate: edges scored and assigned per
+    // second of the partitioning phase. One-sided — only slowdowns
+    // fail — and generous (a 75% throughput drop is a 4x slowdown),
+    // because absolute throughput is hardware-dependent; the gate
+    // exists to catch a de-optimized scoring loop, not CI jitter.
+    return {.rel = 0.75, .abs_floor = 0.0, .upper_only = true,
+            .informational = false, .higher_is_better = true};
+  }
+  if (metric.starts_with("edges_per_sec/")) {
+    // Other phases (degree, clustering, load, scan) are usually too
+    // short for a stable rate; informational detail only.
+    return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
+            .informational = true, .higher_is_better = true};
+  }
   if (metric.starts_with("phase_seconds/") || metric == "peak_rss_bytes" ||
       metric == "spill_bytes_written") {
     return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
@@ -136,11 +154,12 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric,
   if (threads <= 1) {
     return spec;
   }
-  if (metric == "seconds") {
-    // Multi-threaded wall time depends on the machine shape (core
-    // count, SMT, co-tenancy), not just the code; record it, never
-    // gate it. Quality regressions on parallel scenarios are caught by
-    // the (still gated) replication/balance metrics below.
+  if (metric == "seconds" || metric.starts_with("edges_per_sec/")) {
+    // Multi-threaded wall time (and the throughput rates derived from
+    // it) depends on the machine shape (core count, SMT, co-tenancy),
+    // not just the code; record it, never gate it. Quality regressions
+    // on parallel scenarios are caught by the (still gated)
+    // replication/balance metrics below.
     spec.informational = true;
   } else if (metric == "replication_factor" || metric == "measured_alpha") {
     // Parallel workers score against stale shared state, so quality is
@@ -178,9 +197,15 @@ ScenarioComparison CompareRecord(const BenchRecord& baseline,
       const bool beyond =
           abs_delta > check.tolerance.abs_floor &&
           std::fabs(check.rel_delta) > check.tolerance.rel;
+      // Which direction is a regression depends on the metric's
+      // polarity: cost metrics fail upward, throughput metrics fail
+      // downward.
+      const bool bad_direction = check.tolerance.higher_is_better
+                                     ? check.rel_delta < 0.0
+                                     : check.rel_delta > 0.0;
       if (!beyond || check.tolerance.informational) {
         check.status = MetricStatus::kOk;
-      } else if (check.rel_delta > 0.0) {
+      } else if (bad_direction) {
         check.status = MetricStatus::kRegressed;
         check.failed = true;
       } else if (check.tolerance.upper_only) {

@@ -16,13 +16,19 @@ struct ToleranceSpec {
   /// Absolute deviations at or below this never fail — soaks up
   /// scheduler noise on metrics measured in fractions of a second.
   double abs_floor = 0.0;
-  /// Only current > baseline can fail (run-time: faster is not a
-  /// regression, it is reported as improved).
+  /// One-sided gate: only movement in the bad direction can fail; the
+  /// good direction is reported as improved. The bad direction is
+  /// "current > baseline" for cost metrics and flips for throughput
+  /// metrics (see higher_is_better).
   bool upper_only = false;
   /// Recorded and reported but never gated (peak RSS depends on the
   /// allocator and platform; per-phase times are diagnostic detail —
   /// their sum is gated via "seconds").
   bool informational = false;
+  /// Direction of goodness. false (default): smaller is better, a
+  /// positive delta regresses (seconds, bytes). true: larger is
+  /// better, a negative delta regresses (edges_per_sec throughput).
+  bool higher_is_better = false;
 };
 
 /// The tolerance policy keyed by metric name: wall time gets a wide

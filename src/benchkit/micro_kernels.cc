@@ -1,0 +1,258 @@
+#include "benchkit/micro_kernels.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "partition/dense_bitset.h"
+#include "partition/replication_table.h"
+#include "partition/score_tables.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace tpsl {
+namespace benchkit {
+namespace {
+
+// Synthetic state shape shared by every kernel: enough vertices that
+// the replication matrix misses L1/L2 (the real scoring regime), small
+// enough that seeding it is milliseconds.
+constexpr VertexId kNumVertices = 1u << 16;
+// Per-kernel op counts at shift 0, sized so the whole scenario is
+// tens of milliseconds in a release build on one core.
+constexpr uint64_t kPickOps = 1u << 19;
+constexpr uint64_t kHdrfOps = 1u << 16;  // O(k) per pick
+constexpr uint64_t kBitsetBits = 1u << 20;
+constexpr uint64_t kBitsetSweeps = 1u << 5;
+constexpr uint64_t kSetTestOps = 1u << 19;
+constexpr uint64_t kMinOps = 1u << 10;
+
+/// Workload shrink for smoke runs, mirroring the dataset scale_shift
+/// convention (each +1 halves the op count; floor keeps the timer off
+/// zero).
+uint64_t ScaleOps(uint64_t base, int shift) {
+  const uint64_t scaled =
+      shift >= 0 ? (shift < 63 ? base >> shift : 0) : base << (-shift);
+  return scaled < kMinOps ? kMinOps : scaled;
+}
+
+struct KernelResult {
+  double seconds = 0.0;
+  uint64_t ops = 0;
+  uint64_t checksum = 0;
+};
+
+/// 2PS-L hot loop: the constant-time two-candidate pick plus commit,
+/// against pre-seeded replicas/degrees/volumes. The timed region is
+/// exactly the per-edge work of the core's phase 2.
+KernelResult TwopsPick(uint32_t k, uint64_t seed, uint64_t ops) {
+  SplitMix64 rng(seed);
+  ScoreTables tables(kNumVertices, k, ScoreTables::kUncapped);
+  std::vector<uint32_t> degrees(kNumVertices);
+  for (uint32_t& d : degrees) {
+    d = 1 + static_cast<uint32_t>(rng.NextBounded(63));
+  }
+  std::vector<uint64_t> volumes(k);
+  for (uint64_t& volume : volumes) {
+    volume = 1 + rng.NextBounded(1u << 20);
+  }
+  for (VertexId v = 0; v < kNumVertices; ++v) {
+    tables.replicas().Set(v, static_cast<PartitionId>(rng.NextBounded(k)));
+  }
+  struct Item {
+    Edge e;
+    PartitionId p1;
+    PartitionId p2;
+  };
+  std::vector<Item> work(ops);
+  for (Item& item : work) {
+    item.e = {static_cast<VertexId>(rng.NextBounded(kNumVertices)),
+              static_cast<VertexId>(rng.NextBounded(kNumVertices))};
+    item.p1 = static_cast<PartitionId>(rng.NextBounded(k));
+    item.p2 = static_cast<PartitionId>(rng.NextBounded(k));
+  }
+
+  uint64_t checksum = 0;
+  WallTimer timer;
+  for (const Item& item : work) {
+    const PartitionId p = PickTwoPhaseLinear(
+        tables.replicas(), item.e, degrees[item.e.first],
+        degrees[item.e.second], volumes[item.p1], volumes[item.p2], item.p1,
+        item.p2);
+    tables.Commit(item.e, p);
+    checksum = HashCombine(checksum, p);
+  }
+  return {timer.ElapsedSeconds(), ops, checksum};
+}
+
+/// HDRF hot loop: full-k argmax pick plus commit — the per-edge work
+/// of the HDRF/ADWISE/HEP streaming phases.
+KernelResult HdrfPick(uint32_t k, uint64_t seed, uint64_t ops) {
+  SplitMix64 rng(seed);
+  ScoreTables tables(kNumVertices, k, ScoreTables::kUncapped);
+  std::vector<uint32_t> degrees(kNumVertices);
+  for (uint32_t& d : degrees) {
+    d = 1 + static_cast<uint32_t>(rng.NextBounded(63));
+  }
+  std::vector<Edge> work(ops);
+  for (Edge& e : work) {
+    e = {static_cast<VertexId>(rng.NextBounded(kNumVertices)),
+         static_cast<VertexId>(rng.NextBounded(kNumVertices))};
+  }
+  constexpr double kLambda = 1.1;
+
+  uint64_t checksum = 0;
+  WallTimer timer;
+  for (const Edge& e : work) {
+    const ScoreTables::Choice choice =
+        tables.PickHdrf(e, degrees[e.first], degrees[e.second], kLambda,
+                        /*respect_capacity=*/true);
+    tables.Commit(e, choice.partition);
+    checksum = HashCombine(checksum, choice.partition);
+  }
+  return {timer.ElapsedSeconds(), ops, checksum};
+}
+
+/// DenseBitset word loops: population count, intersection count, and
+/// in-place OR sweeps over three seeded bitsets. One "op" is one
+/// 64-bit word visited, so the rate is directly words per second.
+KernelResult BitsetOps(uint64_t seed, uint64_t sweeps) {
+  SplitMix64 rng(seed);
+  DenseBitset a(kBitsetBits);
+  DenseBitset b(kBitsetBits);
+  DenseBitset c(kBitsetBits);
+  for (uint64_t i = 0; i < kBitsetBits / 8; ++i) {
+    a.Set(rng.NextBounded(kBitsetBits));
+    b.Set(rng.NextBounded(kBitsetBits));
+    c.Set(rng.NextBounded(kBitsetBits));
+  }
+
+  uint64_t checksum = 0;
+  WallTimer timer;
+  for (uint64_t sweep = 0; sweep < sweeps; ++sweep) {
+    checksum = HashCombine(checksum, a.IntersectionCount(b));
+    checksum = HashCombine(checksum, b.IntersectionCount(c));
+    a.InplaceOr(b);
+    checksum = HashCombine(checksum, a.Count());
+  }
+  const double seconds = timer.ElapsedSeconds();
+  // 4 word sweeps per iteration (two intersections, one OR, one count).
+  return {seconds, sweeps * 4 * (kBitsetBits / 64), checksum};
+}
+
+/// ReplicationTable random set/test mix — the bit-matrix access
+/// pattern of every stateful scoring loop, without the arithmetic.
+KernelResult ReplicaSetTest(uint32_t k, uint64_t seed, uint64_t ops) {
+  SplitMix64 rng(seed);
+  ReplicationTable replicas(kNumVertices, k);
+  struct Item {
+    VertexId v;
+    PartitionId set_p;
+    PartitionId test_p;
+  };
+  std::vector<Item> work(ops);
+  for (Item& item : work) {
+    item.v = static_cast<VertexId>(rng.NextBounded(kNumVertices));
+    item.set_p = static_cast<PartitionId>(rng.NextBounded(k));
+    item.test_p = static_cast<PartitionId>(rng.NextBounded(k));
+  }
+
+  uint64_t checksum = 0;
+  WallTimer timer;
+  for (const Item& item : work) {
+    replicas.Set(item.v, item.set_p);
+    checksum = HashCombine(
+        checksum, replicas.Test(item.v, item.test_p) ? item.v : item.test_p);
+  }
+  checksum = HashCombine(checksum, replicas.TotalReplicas());
+  return {timer.ElapsedSeconds(), ops, checksum};
+}
+
+}  // namespace
+
+const std::vector<std::string>& MicroKernelNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "twops_pick", "hdrf_pick", "bitset_ops", "replica_set_test"};
+  return *names;
+}
+
+StatusOr<BenchRecord> RunMicroKernels(const Scenario& scenario,
+                                      const RunScenarioOptions& options) {
+  if (scenario.kind != ScenarioKind::kMicroKernel) {
+    return Status::FailedPrecondition("scenario '" + scenario.name +
+                                      "' is not a micro-kernel scenario");
+  }
+  const int shift = options.extra_scale_shift;
+  const uint32_t k = scenario.k;
+  const uint64_t seed = scenario.seed;
+  const int repeats = options.repeats > 0 ? options.repeats : 1;
+
+  // (name, single-run thunk) in MicroKernelNames() order. Each run
+  // rebuilds its seeded state from scratch (outside the timed region),
+  // so every repeat computes the identical checksum — a mismatch means
+  // the kernel itself is nondeterministic, which the gate must not
+  // paper over.
+  struct KernelSpec {
+    const std::string& name;
+    KernelResult (*run)(uint32_t, uint64_t, uint64_t);
+    uint64_t ops;
+  };
+  const KernelSpec kernels[] = {
+      {MicroKernelNames()[0], &TwopsPick, ScaleOps(kPickOps, shift)},
+      {MicroKernelNames()[1], &HdrfPick, ScaleOps(kHdrfOps, shift)},
+      {MicroKernelNames()[2],
+       [](uint32_t, uint64_t s, uint64_t sweeps) {
+         return BitsetOps(s, sweeps);
+       },
+       ScaleOps(kBitsetSweeps, shift)},
+      {MicroKernelNames()[3], &ReplicaSetTest, ScaleOps(kSetTestOps, shift)},
+  };
+
+  BenchRecord record;
+  record.scenario = scenario.name;
+  record.partitioner = scenario.partitioner;
+  record.dataset = scenario.dataset;
+  record.k = k;
+  record.scale_shift = scenario.scale_shift + shift;
+  record.seed = seed;
+  record.threads = 1;  // kernels are single-threaded by construction
+
+  double total_seconds = 0.0;
+  uint64_t total_ops = 0;
+  uint64_t folded_checksum = 0;
+  for (const KernelSpec& kernel : kernels) {
+    KernelResult best;
+    for (int repeat = 0; repeat < repeats; ++repeat) {
+      const KernelResult result = kernel.run(k, seed, kernel.ops);
+      if (repeat == 0) {
+        best = result;
+      } else if (result.checksum != best.checksum) {
+        return Status::Internal("micro-kernel '" + kernel.name +
+                                "' is nondeterministic across repeats");
+      } else if (result.seconds < best.seconds) {
+        best.seconds = result.seconds;
+      }
+    }
+    total_seconds += best.seconds;
+    total_ops += best.ops;
+    folded_checksum = HashCombine(folded_checksum, best.checksum);
+    record.SetMetric("phase_seconds/" + kernel.name, best.seconds);
+    if (best.seconds > 0.0) {
+      record.SetMetric("edges_per_sec/" + kernel.name,
+                       static_cast<double>(best.ops) / best.seconds);
+    }
+  }
+  record.SetMetric("seconds", total_seconds);
+  record.SetMetric("num_edges", static_cast<double>(total_ops));
+  // Deterministic fold of every pick/count the kernels produced,
+  // truncated so the double holds it exactly. Gated by the default
+  // two-sided band, which an exact value always passes — so any drift
+  // is a behavioral change in the state kernel, caught by --check
+  // before the identity tests even run.
+  record.SetMetric("checksum_low32",
+                   static_cast<double>(folded_checksum & 0xffffffffULL));
+  return record;
+}
+
+}  // namespace benchkit
+}  // namespace tpsl

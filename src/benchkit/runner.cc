@@ -73,6 +73,14 @@ StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
   record.SetMetric("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
   for (const auto& [phase, seconds] : m.stats.phase_seconds) {
     record.SetMetric("phase_seconds/" + phase, seconds);
+    // Phase throughput: edges pushed through the phase's loop per
+    // second. Every phase is one (or more) full passes over the edge
+    // set, so |E| / phase time is the natural rate; "partitioning" is
+    // the gated hot-loop number (see DefaultToleranceFor).
+    if (seconds > 0.0 && !edges.empty()) {
+      record.SetMetric("edges_per_sec/" + phase,
+                       static_cast<double>(edges.size()) / seconds);
+    }
   }
   return record;
 }

@@ -72,6 +72,14 @@ const std::vector<Scenario>& PinnedScenarios() {
        "larger-tier out-of-core 2PS-L (33M edges), spill-to-disk",
        "2PS-L", "rmat_s22", 32, 0, 42, 1, ScenarioKind::kDiskPartition,
        /*large=*/true, /*spill=*/true},
+      // Kernel-level perf gate: the state-kernel scoring loops
+      // (ScoreTables picks, DenseBitset word ops, replication
+      // set/test) timed in isolation on synthetic seeded state. Small
+      // enough for --smoke; the CI perf gate diffs its throughput and
+      // checksum against the pinned baseline.
+      {"micro_state_kernel",
+       "state-kernel scoring/bitset micro-benchmarks (hot-loop gate)",
+       "micro", "synthetic", 32, 0, 42, 1, ScenarioKind::kMicroKernel},
   };
   return *scenarios;
 }
@@ -84,6 +92,8 @@ const char* ScenarioKindLabel(ScenarioKind kind) {
       return "disk";
     case ScenarioKind::kIngestScan:
       return "ingest";
+    case ScenarioKind::kMicroKernel:
+      return "micro";
   }
   return "?";
 }

@@ -22,6 +22,12 @@ enum class ScenarioKind {
   /// no partitioning. `dataset` names a catalog recipe; `partitioner`
   /// and `k` are placeholders for record identity.
   kIngestScan,
+  /// Kernel-level throughput of the shared partitioner-state layer
+  /// (ScoreTables picks, DenseBitset word ops, ReplicationTable
+  /// set/test) on synthetic seeded state — no dataset, no partitioner;
+  /// `partitioner` and `dataset` are placeholders for record identity.
+  /// See benchkit/micro_kernels.h.
+  kMicroKernel,
 };
 
 /// One pinned benchmark configuration: a named, seeded synthetic-graph

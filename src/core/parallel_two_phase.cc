@@ -8,6 +8,7 @@
 #include "core/cluster_schedule.h"
 #include "core/scoring.h"
 #include "exec/parallel_for_edges.h"
+#include "partition/score_tables.h"
 #include "graph/degrees.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -258,25 +259,15 @@ Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
         const uint32_t dv = degrees.degree(e.second);
         PartitionId preferred;
         if (linear) {
-          const uint64_t degree_sum = static_cast<uint64_t>(du) + dv;
+          // Shared kernel helper, instantiated over the atomic replica
+          // view; the formula and tie-break are the sequential core's,
+          // so a threads=1 run makes identical decisions.
           const uint64_t vol1 =
               shared.use_volume_term ? clustering.cluster_volumes[c1] : 0;
           const uint64_t vol2 =
               shared.use_volume_term ? clustering.cluster_volumes[c2] : 0;
-          const uint64_t volume_sum = vol1 + vol2;
-          const double score1 =
-              TwopsReplicationTerm(replicas.Test(e.first, p1), du,
-                                   degree_sum) +
-              TwopsReplicationTerm(replicas.Test(e.second, p1), dv,
-                                   degree_sum) +
-              TwopsClusterTerm(true, vol1, volume_sum);
-          const double score2 =
-              TwopsReplicationTerm(replicas.Test(e.first, p2), du,
-                                   degree_sum) +
-              TwopsReplicationTerm(replicas.Test(e.second, p2), dv,
-                                   degree_sum) +
-              TwopsClusterTerm(true, vol2, volume_sum);
-          preferred = score1 >= score2 ? p1 : p2;
+          preferred =
+              PickTwoPhaseLinear(replicas, e, du, dv, vol1, vol2, p1, p2);
         } else {
           // HDRF over all k with relaxed (stale-tolerant) load reads.
           const uint32_t k = static_cast<uint32_t>(loads.size());

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "partition/score_tables.h"
+
 namespace tpsl {
 namespace {
 
@@ -89,9 +91,20 @@ StatusOr<Clustering> StreamingClustering(EdgeStream& stream,
     state.max_volume = std::numeric_limits<uint64_t>::max();
   }
 
+  // The per-edge random accesses are the v2c rows (and the degree
+  // entries behind EnsureCluster); run the passes through the kernel's
+  // prefetching driver so those lines are in flight a few edges ahead.
+  const auto prefetch = [&](const Edge& e) {
+    __builtin_prefetch(state.v2c.data() + e.first, /*rw=*/0, /*locality=*/3);
+    __builtin_prefetch(state.v2c.data() + e.second, /*rw=*/0, /*locality=*/3);
+    __builtin_prefetch(degrees.degrees.data() + e.first, /*rw=*/0,
+                       /*locality=*/3);
+    __builtin_prefetch(degrees.degrees.data() + e.second, /*rw=*/0,
+                       /*locality=*/3);
+  };
   for (uint32_t pass = 0; pass < config.num_passes; ++pass) {
-    TPSL_RETURN_IF_ERROR(ForEachEdge(
-        stream, [&state](const Edge& e) { state.ProcessEdge(e); }));
+    TPSL_RETURN_IF_ERROR(ForEachEdgePrefetched(
+        stream, prefetch, [&state](const Edge& e) { state.ProcessEdge(e); }));
   }
 
   // Compact cluster ids to a dense range and recompute volumes from

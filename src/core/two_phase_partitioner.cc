@@ -1,62 +1,33 @@
 #include "core/two_phase_partitioner.h"
 
-#include <algorithm>
 #include <vector>
 
 #include "core/cluster_schedule.h"
 #include "core/scoring.h"
 #include "graph/degrees.h"
-#include "partition/replication_table.h"
+#include "partition/score_tables.h"
 #include "util/random.h"
 #include "util/timer.h"
 
 namespace tpsl {
 namespace {
 
-/// Shared context of the Phase 2 streaming passes.
-struct Phase2Context {
-  const DegreeTable* degrees;
-  const Clustering* clustering;
-  const ClusterSchedule* schedule;
-  ReplicationTable* replicas;
-  std::vector<uint64_t>* loads;
-  uint64_t capacity;
-  uint64_t seed;
-
-  bool IsFull(PartitionId p) const { return (*loads)[p] >= capacity; }
-
-  PartitionId LeastLoaded() const {
-    PartitionId best = 0;
-    for (PartitionId p = 1; p < loads->size(); ++p) {
-      if ((*loads)[p] < (*loads)[best]) {
-        best = p;
-      }
-    }
-    return best;
+/// Overflow chain of Algorithm 2: degree-based hashing on the
+/// higher-degree endpoint (line 41), then least-loaded as the last
+/// resort described in the paper's prose.
+PartitionId OverflowTarget(const ScoreTables& tables,
+                           const DegreeTable& degrees, const Edge& e,
+                           uint64_t seed) {
+  const VertexId pivot = degrees.degree(e.first) >= degrees.degree(e.second)
+                             ? e.first
+                             : e.second;
+  const PartitionId hashed = static_cast<PartitionId>(
+      Mix64(HashCombine(seed, pivot)) % tables.num_partitions());
+  if (!tables.IsFull(hashed)) {
+    return hashed;
   }
-
-  /// Overflow chain of Algorithm 2: degree-based hashing on the
-  /// higher-degree endpoint (line 41), then least-loaded as the last
-  /// resort described in the paper's prose.
-  PartitionId OverflowTarget(const Edge& e) const {
-    const VertexId pivot = degrees->degree(e.first) >= degrees->degree(e.second)
-                               ? e.first
-                               : e.second;
-    const PartitionId hashed = static_cast<PartitionId>(
-        Mix64(HashCombine(seed, pivot)) % loads->size());
-    if (!IsFull(hashed)) {
-      return hashed;
-    }
-    return LeastLoaded();
-  }
-
-  void Commit(const Edge& e, PartitionId p, AssignmentSink& sink) {
-    replicas->Set(e.first, p);
-    replicas->Set(e.second, p);
-    ++(*loads)[p];
-    sink.Assign(e, p);
-  }
-};
+  return tables.LeastLoaded();
+}
 
 }  // namespace
 
@@ -103,22 +74,14 @@ Status TwoPhasePartitioner::Partition(EdgeStream& stream,
           : ScheduleClustersRoundRobin(clustering.cluster_volumes,
                                        config.num_partitions);
 
-  const VertexId num_vertices = degrees.num_vertices();
-  ReplicationTable replicas(num_vertices, config.num_partitions);
-  std::vector<uint64_t> loads(config.num_partitions, 0);
-
-  Phase2Context ctx;
-  ctx.degrees = &degrees;
-  ctx.clustering = &clustering;
-  ctx.schedule = &schedule;
-  ctx.replicas = &replicas;
-  ctx.loads = &loads;
-  ctx.capacity = config.PartitionCapacity(degrees.num_edges);
-  ctx.seed = config.seed;
+  ScoreTables tables(degrees.num_vertices(), config.num_partitions,
+                     config.PartitionCapacity(degrees.num_edges));
+  tables.AttachDegrees(degrees.degrees.data());
+  tables.AttachClusterVolumes(clustering.cluster_volumes.data());
 
   out.state_bytes = degrees.degrees.size() * sizeof(uint32_t) +
                     clustering.HeapBytes() + schedule.HeapBytes() +
-                    replicas.HeapBytes() + loads.size() * sizeof(uint64_t);
+                    tables.HeapBytes();
 
   const auto cluster_of = [&clustering](VertexId v) {
     return clustering.vertex_cluster[v];
@@ -126,85 +89,66 @@ Status TwoPhasePartitioner::Partition(EdgeStream& stream,
   const auto partition_of_cluster = [&schedule](ClusterId c) {
     return schedule.cluster_partition[c];
   };
+  const auto commit = [&](const Edge& e, PartitionId target) {
+    if (tables.IsFull(target)) {
+      target = OverflowTarget(tables, degrees, e, config.seed);
+    }
+    tables.Commit(e, target);
+    sink.Assign(e, target);
+  };
+  const auto prefetch = [&](const Edge& e) { tables.PrefetchEdge(e); };
 
   // Step 2: pre-partition edges whose endpoints share a cluster or
   // whose clusters are mapped to the same partition (lines 16-26).
-  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
-    const ClusterId c1 = cluster_of(e.first);
-    const ClusterId c2 = cluster_of(e.second);
-    const PartitionId p1 = partition_of_cluster(c1);
-    const PartitionId p2 = partition_of_cluster(c2);
-    if (c1 != c2 && p1 != p2) {
-      return;  // Handled by the scoring pass.
-    }
-    PartitionId target = p1;
-    if (ctx.IsFull(target)) {
-      target = ctx.OverflowTarget(e);
-    }
-    ctx.Commit(e, target, sink);
-    ++out.prepartitioned_edges;
-  }));
+  TPSL_RETURN_IF_ERROR(
+      ForEachEdgePrefetched(stream, prefetch, [&](const Edge& e) {
+        const ClusterId c1 = cluster_of(e.first);
+        const ClusterId c2 = cluster_of(e.second);
+        const PartitionId p1 = partition_of_cluster(c1);
+        const PartitionId p2 = partition_of_cluster(c2);
+        if (c1 != c2 && p1 != p2) {
+          return;  // Handled by the scoring pass.
+        }
+        commit(e, p1);
+        ++out.prepartitioned_edges;
+      }));
   out.stream_passes += 1;
 
   // Step 3: stream the remaining edges (lines 27-44).
   const bool linear = options_.scoring == ScoringMode::kLinear;
-  TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
-    const ClusterId c1 = cluster_of(e.first);
-    const ClusterId c2 = cluster_of(e.second);
-    const PartitionId p1 = partition_of_cluster(c1);
-    const PartitionId p2 = partition_of_cluster(c2);
-    if (c1 == c2 || p1 == p2) {
-      return;  // Already pre-partitioned.
-    }
-
-    PartitionId target;
-    if (linear) {
-      // 2PS-L: score exactly the two candidate partitions.
-      const uint32_t du = degrees.degree(e.first);
-      const uint32_t dv = degrees.degree(e.second);
-      const uint64_t vol1 =
-          options_.use_cluster_volume_term ? clustering.cluster_volumes[c1]
-                                           : 0;
-      const uint64_t vol2 =
-          options_.use_cluster_volume_term ? clustering.cluster_volumes[c2]
-                                           : 0;
-      const double score1 = TwopsScore(replicas, e.first, e.second, du, dv,
-                                       vol1, vol2, /*cu_on_p=*/true,
-                                       /*cv_on_p=*/false, p1);
-      const double score2 = TwopsScore(replicas, e.first, e.second, du, dv,
-                                       vol1, vol2, /*cu_on_p=*/false,
-                                       /*cv_on_p=*/true, p2);
-      target = score1 >= score2 ? p1 : p2;
-    } else {
-      // 2PS-HDRF: HDRF scoring over all k partitions.
-      const uint32_t du = degrees.degree(e.first);
-      const uint32_t dv = degrees.degree(e.second);
-      uint64_t max_load = 0, min_load = loads[0];
-      for (const uint64_t load : loads) {
-        max_load = std::max(max_load, load);
-        min_load = std::min(min_load, load);
-      }
-      double best_score = -1.0;
-      target = 0;
-      for (PartitionId p = 0; p < config.num_partitions; ++p) {
-        const double score =
-            HdrfReplicationScore(replicas.Test(e.first, p),
-                                 replicas.Test(e.second, p), du, dv) +
-            HdrfBalanceScore(loads[p], max_load, min_load,
-                             options_.hdrf_lambda);
-        if (score > best_score) {
-          best_score = score;
-          target = p;
+  TPSL_RETURN_IF_ERROR(
+      ForEachEdgePrefetched(stream, prefetch, [&](const Edge& e) {
+        const ClusterId c1 = cluster_of(e.first);
+        const ClusterId c2 = cluster_of(e.second);
+        const PartitionId p1 = partition_of_cluster(c1);
+        const PartitionId p2 = partition_of_cluster(c2);
+        if (c1 == c2 || p1 == p2) {
+          return;  // Already pre-partitioned.
         }
-      }
-    }
 
-    if (ctx.IsFull(target)) {
-      target = ctx.OverflowTarget(e);
-    }
-    ctx.Commit(e, target, sink);
-    ++out.remaining_edges;
-  }));
+        const uint32_t du = tables.degree(e.first);
+        const uint32_t dv = tables.degree(e.second);
+        PartitionId target;
+        if (linear) {
+          // 2PS-L: score exactly the two candidate partitions.
+          const uint64_t vol1 =
+              options_.use_cluster_volume_term ? tables.cluster_volume(c1) : 0;
+          const uint64_t vol2 =
+              options_.use_cluster_volume_term ? tables.cluster_volume(c2) : 0;
+          target = PickTwoPhaseLinear(tables.replicas(), e, du, dv, vol1, vol2,
+                                      p1, p2);
+        } else {
+          // 2PS-HDRF: HDRF scoring over all k partitions; capacity is
+          // resolved by the overflow chain, not by skipping here.
+          target = tables
+                       .PickHdrf(e, du, dv, options_.hdrf_lambda,
+                                 /*respect_capacity=*/false)
+                       .partition;
+        }
+
+        commit(e, target);
+        ++out.remaining_edges;
+      }));
   out.stream_passes += 1;
 
   return Status::OK();

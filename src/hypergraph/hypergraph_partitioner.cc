@@ -1,32 +1,14 @@
 #include "hypergraph/hypergraph_partitioner.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "core/cluster_schedule.h"
 #include "core/streaming_clustering.h"
 #include "graph/degrees.h"
-#include "partition/replication_table.h"
+#include "partition/score_tables.h"
 #include "util/random.h"
 
 namespace tpsl {
-namespace {
-
-PartitionId LeastLoadedOpen(const std::vector<uint64_t>& loads,
-                            uint64_t capacity) {
-  PartitionId best = kInvalidPartition;
-  for (PartitionId p = 0; p < loads.size(); ++p) {
-    if (loads[p] >= capacity) {
-      continue;
-    }
-    if (best == kInvalidPartition || loads[p] < loads[best]) {
-      best = p;
-    }
-  }
-  return best;
-}
-
-}  // namespace
 
 HypergraphQuality ComputeHypergraphQuality(
     const Hypergraph& hypergraph, const std::vector<PartitionId>& assignment,
@@ -35,23 +17,19 @@ HypergraphQuality ComputeHypergraphQuality(
   quality.partition_sizes.assign(num_partitions, 0);
   quality.num_hyperedges = hypergraph.edges.size();
 
-  std::vector<std::unordered_set<VertexId>> covers(num_partitions);
-  std::unordered_set<VertexId> all_vertices;
+  // Dense vertex covers on the kernel's bit matrix: Set() is
+  // idempotent and maintains per-partition cover counts and the
+  // covered-vertex count incrementally, so no hash sets are needed.
+  ReplicationTable covers(hypergraph.NumVertices(), num_partitions);
   for (size_t i = 0; i < hypergraph.edges.size(); ++i) {
     const PartitionId p = assignment[i];
     ++quality.partition_sizes[p];
     for (const VertexId pin : hypergraph.edges[i].pins) {
-      covers[p].insert(pin);
-      all_vertices.insert(pin);
+      covers.Set(pin, p);
     }
   }
-  uint64_t total_cover = 0;
-  for (const auto& cover : covers) {
-    total_cover += cover.size();
-  }
-  if (!all_vertices.empty()) {
-    quality.replication_factor =
-        static_cast<double>(total_cover) / all_vertices.size();
+  if (covers.CoveredVertices() > 0) {
+    quality.replication_factor = covers.ReplicationFactor();
   }
   if (quality.num_hyperedges > 0) {
     const uint64_t max_size = *std::max_element(
@@ -84,12 +62,9 @@ StatusOr<std::vector<PartitionId>> MinMaxPartitionHypergraph(
     return Status::InvalidArgument("num_partitions must be positive");
   }
   const uint32_t k = config.num_partitions;
-  const uint64_t capacity =
-      config.PartitionCapacity(hypergraph.edges.size());
-  const VertexId num_vertices = hypergraph.NumVertices();
 
-  ReplicationTable replicas(num_vertices, k);
-  std::vector<uint64_t> loads(k, 0);
+  ScoreTables tables(hypergraph.NumVertices(), k,
+                     config.PartitionCapacity(hypergraph.edges.size()));
   std::vector<PartitionId> assignment(hypergraph.edges.size());
   std::vector<uint32_t> overlap(k);
 
@@ -98,23 +73,23 @@ StatusOr<std::vector<PartitionId>> MinMaxPartitionHypergraph(
     std::fill(overlap.begin(), overlap.end(), 0);
     for (const VertexId pin : edge.pins) {
       for (PartitionId p = 0; p < k; ++p) {
-        overlap[p] += replicas.Test(pin, p) ? 1 : 0;
+        overlap[p] += tables.replicas().Test(pin, p) ? 1 : 0;
       }
     }
     PartitionId best = kInvalidPartition;
     for (PartitionId p = 0; p < k; ++p) {
-      if (loads[p] >= capacity) {
+      if (tables.IsFull(p)) {
         continue;
       }
       if (best == kInvalidPartition || overlap[p] > overlap[best] ||
-          (overlap[p] == overlap[best] && loads[p] < loads[best])) {
+          (overlap[p] == overlap[best] && tables.load(p) < tables.load(best))) {
         best = p;
       }
     }
     assignment[i] = best;
-    ++loads[best];
+    tables.AddLoad(best);
     for (const VertexId pin : edge.pins) {
-      replicas.Set(pin, best);
+      tables.replicas().Set(pin, best);
     }
   }
   return assignment;
@@ -127,8 +102,6 @@ StatusOr<std::vector<PartitionId>> TwoPhasePartitionHypergraph(
     return Status::InvalidArgument("num_partitions must be positive");
   }
   const uint32_t k = config.num_partitions;
-  const uint64_t capacity =
-      config.PartitionCapacity(hypergraph.edges.size());
 
   // --- Phase 1: plain-graph streaming clustering on the star
   // expansion (reuses paper Algorithm 1 verbatim). ---
@@ -144,9 +117,8 @@ StatusOr<std::vector<PartitionId>> TwoPhasePartitionHypergraph(
   const ClusterSchedule schedule =
       ScheduleClustersGraham(clustering.cluster_volumes, k);
 
-  const VertexId num_vertices = degrees.num_vertices();
-  ReplicationTable replicas(num_vertices, k);
-  std::vector<uint64_t> loads(k, 0);
+  ScoreTables tables(degrees.num_vertices(), k,
+                     config.PartitionCapacity(hypergraph.edges.size()));
   std::vector<PartitionId> assignment(hypergraph.edges.size(),
                                       kInvalidPartition);
 
@@ -158,9 +130,9 @@ StatusOr<std::vector<PartitionId>> TwoPhasePartitionHypergraph(
 
   const auto commit = [&](size_t index, PartitionId target) {
     assignment[index] = target;
-    ++loads[target];
+    tables.AddLoad(target);
     for (const VertexId pin : hypergraph.edges[index].pins) {
-      replicas.Set(pin, target);
+      tables.replicas().Set(pin, target);
     }
   };
 
@@ -182,8 +154,8 @@ StatusOr<std::vector<PartitionId>> TwoPhasePartitionHypergraph(
       continue;
     }
     PartitionId target = common;
-    if (loads[target] >= capacity) {
-      target = LeastLoadedOpen(loads, capacity);
+    if (tables.IsFull(target)) {
+      target = tables.LeastLoadedOpen();
     }
     commit(i, target);
   }
@@ -212,7 +184,7 @@ StatusOr<std::vector<PartitionId>> TwoPhasePartitionHypergraph(
     for (const PartitionId p : candidates) {
       double score = 0.0;
       for (const VertexId pin : edge.pins) {
-        if (replicas.Test(pin, p)) {
+        if (tables.replicas().Test(pin, p)) {
           score += 1.0 + (1.0 - static_cast<double>(degrees.degree(pin)) /
                                     static_cast<double>(degree_sum));
         }
@@ -228,9 +200,8 @@ StatusOr<std::vector<PartitionId>> TwoPhasePartitionHypergraph(
         target = p;
       }
     }
-    if (target == kInvalidPartition || loads[target] >= capacity) {
-      const PartitionId fallback = LeastLoadedOpen(loads, capacity);
-      target = fallback;
+    if (target == kInvalidPartition || tables.IsFull(target)) {
+      target = tables.LeastLoadedOpen();
     }
     commit(i, target);
   }

@@ -1,0 +1,168 @@
+#ifndef TPSL_PARTITION_DENSE_BITSET_H_
+#define TPSL_PARTITION_DENSE_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tpsl {
+
+/// Word-parallel dense bitset — the shared bit-storage primitive of the
+/// partitioner-state kernel. Hosts the `v2p` replication matrix
+/// (ReplicationTable), per-partition vertex covers (hypergraph quality,
+/// procsim topology), and claimed-edge masks (NE/SNE expansion).
+///
+/// Flat uint64_t words, no bounds checks beyond the vector's own, and
+/// word-at-a-time bulk operations (popcount, and/or/andnot,
+/// intersection counts, set-bit iteration) so mirror-overlap style
+/// queries run at memory bandwidth instead of hash-set speed.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(uint64_t num_bits)
+      : num_bits_(num_bits), words_(NumWords(num_bits), 0) {}
+
+  uint64_t size() const { return num_bits_; }
+
+  /// Grows (or shrinks) to `num_bits`, preserving existing bits and
+  /// zeroing any new tail. Bits past a shrink are discarded; the last
+  /// partial word is masked so popcounts stay exact.
+  void Resize(uint64_t num_bits) {
+    words_.resize(NumWords(num_bits), 0);
+    num_bits_ = num_bits;
+    MaskTail();
+  }
+
+  bool Test(uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(uint64_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  void Reset(uint64_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Sets bit i; returns true iff it was previously clear. The
+  /// test-and-set idiom every incremental cover/replica counter needs.
+  bool TestAndSet(uint64_t i) {
+    uint64_t& word = words_[i >> 6];
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if (word & mask) {
+      return false;
+    }
+    word |= mask;
+    return true;
+  }
+
+  void ClearAll() {
+    for (uint64_t& word : words_) {
+      word = 0;
+    }
+  }
+
+  /// Number of set bits (word-parallel popcount).
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (const uint64_t word : words_) {
+      total += static_cast<uint64_t>(std::popcount(word));
+    }
+    return total;
+  }
+
+  bool Any() const {
+    for (const uint64_t word : words_) {
+      if (word != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// |this ∩ other| without materializing the intersection — the
+  /// mirror-overlap query of FSM-style split/merge matching. Sizes may
+  /// differ; the shorter operand zero-extends.
+  uint64_t IntersectionCount(const DenseBitset& other) const {
+    const size_t n = words_.size() < other.words_.size()
+                         ? words_.size()
+                         : other.words_.size();
+    uint64_t total = 0;
+    for (size_t w = 0; w < n; ++w) {
+      total += static_cast<uint64_t>(
+          std::popcount(words_[w] & other.words_[w]));
+    }
+    return total;
+  }
+
+  /// this |= other. `other` must not be larger than this.
+  void InplaceOr(const DenseBitset& other) {
+    for (size_t w = 0; w < other.words_.size(); ++w) {
+      words_[w] |= other.words_[w];
+    }
+  }
+
+  /// this &= other (bits past other's size clear, matching
+  /// zero-extension).
+  void InplaceAnd(const DenseBitset& other) {
+    size_t w = 0;
+    for (; w < other.words_.size() && w < words_.size(); ++w) {
+      words_[w] &= other.words_[w];
+    }
+    for (; w < words_.size(); ++w) {
+      words_[w] = 0;
+    }
+  }
+
+  /// this &= ~other. `other` may be any size.
+  void InplaceAndNot(const DenseBitset& other) {
+    const size_t n = words_.size() < other.words_.size()
+                         ? words_.size()
+                         : other.words_.size();
+    for (size_t w = 0; w < n; ++w) {
+      words_[w] &= ~other.words_[w];
+    }
+  }
+
+  /// Invokes fn(index) for every set bit, ascending, via
+  /// count-trailing-zeros word scanning.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<uint64_t>(w) * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Software-prefetches the cache line holding bit `i` (read intent).
+  /// A scoring loop calls this a few edges ahead so the replica words
+  /// are resident by the time they are tested.
+  void Prefetch(uint64_t i) const {
+    __builtin_prefetch(words_.data() + (i >> 6), /*rw=*/0, /*locality=*/3);
+  }
+
+  uint64_t HeapBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  static uint64_t NumWords(uint64_t num_bits) { return (num_bits + 63) / 64; }
+
+  /// Clears bits beyond num_bits_ in the last word so Count() and
+  /// IntersectionCount() never see stale bits after a shrink.
+  void MaskTail() {
+    const uint64_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  uint64_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace tpsl
+
+#endif  // TPSL_PARTITION_DENSE_BITSET_H_

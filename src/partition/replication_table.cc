@@ -6,21 +6,26 @@ ReplicationTable::ReplicationTable(VertexId num_vertices,
                                    uint32_t num_partitions)
     : num_vertices_(num_vertices),
       num_partitions_(num_partitions),
-      bits_((static_cast<uint64_t>(num_vertices) * num_partitions + 63) / 64,
-            0),
+      bits_(static_cast<uint64_t>(num_vertices) * num_partitions),
       cover_sizes_(num_partitions, 0),
       replica_counts_(num_vertices, 0) {}
+
+DenseBitset ReplicationTable::CoverBitset(PartitionId p) const {
+  DenseBitset cover(num_vertices_);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (Test(v, p)) {
+      cover.Set(v);
+    }
+  }
+  return cover;
+}
 
 double ReplicationTable::ReplicationFactor() const {
   const uint64_t covered = CoveredVertices();
   if (covered == 0) {
     return 0.0;
   }
-  uint64_t total_replicas = 0;
-  for (uint64_t size : cover_sizes_) {
-    total_replicas += size;
-  }
-  return static_cast<double>(total_replicas) / static_cast<double>(covered);
+  return static_cast<double>(TotalReplicas()) / static_cast<double>(covered);
 }
 
 uint64_t ReplicationTable::CoveredVertices() const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "partition/dense_bitset.h"
 
 namespace tpsl {
 
@@ -12,8 +13,12 @@ namespace tpsl {
 /// paper Algorithm 2, and the dominant O(|V|·k) space term of every
 /// stateful streaming partitioner (Table II).
 ///
-/// Maintains per-partition vertex-cover counts |V(p_i)| incrementally
-/// so the replication factor is available in O(k) at any time.
+/// Hosted on the kernel's DenseBitset, vertex-major: row v is the k
+/// consecutive bits starting at v·k, so one cache line holds a whole
+/// row for k <= 512 and a scoring loop touches exactly one line per
+/// endpoint. Maintains per-partition vertex-cover counts |V(p_i)|
+/// incrementally so the replication factor is available in O(k) at any
+/// time.
 class ReplicationTable {
  public:
   ReplicationTable(VertexId num_vertices, uint32_t num_partitions);
@@ -22,10 +27,7 @@ class ReplicationTable {
   uint32_t num_partitions() const { return num_partitions_; }
 
   /// Whether vertex v is replicated on partition p.
-  bool Test(VertexId v, PartitionId p) const {
-    const uint64_t bit = Index(v, p);
-    return (bits_[bit >> 6] >> (bit & 63)) & 1;
-  }
+  bool Test(VertexId v, PartitionId p) const { return bits_.Test(Index(v, p)); }
 
   /// Extends the table to cover vertices up to `new_num_vertices - 1`
   /// (no-op if already large enough). Rows are vertex-major, so growth
@@ -36,22 +38,22 @@ class ReplicationTable {
       return;
     }
     num_vertices_ = new_num_vertices;
-    bits_.resize(
-        (static_cast<uint64_t>(num_vertices_) * num_partitions_ + 63) / 64,
-        0);
+    bits_.Resize(static_cast<uint64_t>(num_vertices_) * num_partitions_);
     replica_counts_.resize(num_vertices_, 0);
   }
 
   /// Marks v as replicated on p (idempotent).
   void Set(VertexId v, PartitionId p) {
-    const uint64_t bit = Index(v, p);
-    uint64_t& word = bits_[bit >> 6];
-    const uint64_t mask = uint64_t{1} << (bit & 63);
-    if ((word & mask) == 0) {
-      word |= mask;
+    if (bits_.TestAndSet(Index(v, p))) {
       ++cover_sizes_[p];
       ++replica_counts_[v];
     }
+  }
+
+  /// Pulls vertex v's replica row (and its replica count) toward the
+  /// cache; scoring loops call this a few edges ahead of the test.
+  void PrefetchRow(VertexId v) const {
+    bits_.Prefetch(Index(v, 0));
   }
 
   /// Number of partitions vertex v is replicated on.
@@ -59,6 +61,11 @@ class ReplicationTable {
 
   /// |V(p)| — size of partition p's vertex cover set.
   uint64_t CoverSize(PartitionId p) const { return cover_sizes_[p]; }
+
+  /// Partition p's full vertex cover as a standalone DenseBitset over
+  /// [0, num_vertices). An O(|V|·k / 64) gather — for mirror-overlap
+  /// queries (FSM split/merge matching), not for per-edge loops.
+  DenseBitset CoverBitset(PartitionId p) const;
 
   /// Replication factor over the `num_covered` vertices that actually
   /// appear in the graph: (1/|V|) Σ_i |V(p_i)|. Computed against the
@@ -68,10 +75,20 @@ class ReplicationTable {
   /// Total vertices with >= 1 replica (i.e., non-isolated vertices).
   uint64_t CoveredVertices() const;
 
+  /// Σ_v replicas(v), from the incremental cover counts (O(k)).
+  uint64_t TotalReplicas() const {
+    uint64_t total = 0;
+    for (const uint64_t size : cover_sizes_) {
+      total += size;
+    }
+    return total;
+  }
+
   /// Bytes of heap memory held (for the paper's memory accounting).
+  /// Exact: the bit matrix plus both count arrays — the Table II space
+  /// term stays honest after the DenseBitset rehost.
   uint64_t HeapBytes() const {
-    return bits_.size() * sizeof(uint64_t) +
-           cover_sizes_.size() * sizeof(uint64_t) +
+    return bits_.HeapBytes() + cover_sizes_.size() * sizeof(uint64_t) +
            replica_counts_.size() * sizeof(uint32_t);
   }
 
@@ -82,7 +99,7 @@ class ReplicationTable {
 
   VertexId num_vertices_;
   uint32_t num_partitions_;
-  std::vector<uint64_t> bits_;
+  DenseBitset bits_;
   std::vector<uint64_t> cover_sizes_;
   std::vector<uint32_t> replica_counts_;
 };

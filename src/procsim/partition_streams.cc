@@ -2,20 +2,24 @@
 
 #include <cstdint>
 
+#include "partition/replication_table.h"
+
 namespace tpsl {
 
 StatusOr<PartitionTopology> DiscoverTopology(
     const std::vector<EdgeStream*>& partitions, bool with_degrees) {
   PartitionTopology topology;
   topology.partition_edges.assign(partitions.size(), 0);
-  std::vector<uint32_t> replicas;
-  std::vector<uint32_t> seen_in;
+  // Mirror accounting on the kernel's replication matrix: Set() is
+  // idempotent per (vertex, partition), so each partition's pass can
+  // just mark both endpoints; replicas, covered vertices and mirrors
+  // fall out of the incremental counts.
+  ReplicationTable replicas(0, static_cast<uint32_t>(partitions.size()));
   for (uint32_t p = 0; p < partitions.size(); ++p) {
     TPSL_RETURN_IF_ERROR(ForEachEdge(*partitions[p], [&](const Edge& e) {
       const VertexId top = std::max(e.first, e.second);
-      if (static_cast<size_t>(top) >= replicas.size()) {
-        replicas.resize(top + 1, 0);
-        seen_in.resize(top + 1, UINT32_MAX);
+      if (top >= replicas.num_vertices()) {
+        replicas.GrowVertices(top + 1);
         if (with_degrees) {
           topology.degree.resize(top + 1, 0);
         }
@@ -25,20 +29,16 @@ StatusOr<PartitionTopology> DiscoverTopology(
         ++topology.degree[e.first];
         ++topology.degree[e.second];
       }
-      for (const VertexId v : {e.first, e.second}) {
-        if (seen_in[v] != p) {
-          seen_in[v] = p;
-          ++replicas[v];
-        }
-      }
+      replicas.Set(e.first, p);
+      replicas.Set(e.second, p);
     }));
     topology.num_edges += topology.partition_edges[p];
   }
-  topology.num_vertices = static_cast<VertexId>(replicas.size());
-  for (const uint32_t r : replicas) {
-    topology.total_replicas += r;
-    topology.mirrors += r > 0 ? r - 1 : 0;
-  }
+  topology.num_vertices = replicas.num_vertices();
+  topology.total_replicas = replicas.TotalReplicas();
+  // Each covered vertex has one master; every further replica is a
+  // mirror.
+  topology.mirrors = topology.total_replicas - replicas.CoveredVertices();
   return topology;
 }
 

@@ -1,0 +1,244 @@
+// DenseBitset: unit tests for every word-parallel operation plus a
+// randomized property sweep against a std::vector<bool> oracle — the
+// bitset underneath the whole partitioner-state kernel, so an
+// off-by-one in the tail-word masking here would silently corrupt
+// every replication table in the repo.
+#include "partition/dense_bitset.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace tpsl {
+namespace {
+
+TEST(DenseBitsetTest, StartsEmpty) {
+  DenseBitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_FALSE(bits.Any());
+  for (uint64_t i = 0; i < 130; ++i) {
+    EXPECT_FALSE(bits.Test(i));
+  }
+}
+
+TEST(DenseBitsetTest, SetTestReset) {
+  DenseBitset bits(200);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(199);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(199));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_FALSE(bits.Test(198));
+  EXPECT_EQ(bits.Count(), 4u);
+  EXPECT_TRUE(bits.Any());
+
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(DenseBitsetTest, TestAndSetReportsPriorState) {
+  DenseBitset bits(70);
+  EXPECT_TRUE(bits.TestAndSet(65));   // was clear -> true
+  EXPECT_FALSE(bits.TestAndSet(65));  // already set -> false
+  EXPECT_TRUE(bits.Test(65));
+  EXPECT_EQ(bits.Count(), 1u);
+}
+
+TEST(DenseBitsetTest, ClearAll) {
+  DenseBitset bits(100);
+  for (uint64_t i = 0; i < 100; i += 7) {
+    bits.Set(i);
+  }
+  ASSERT_GT(bits.Count(), 0u);
+  bits.ClearAll();
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_FALSE(bits.Any());
+}
+
+TEST(DenseBitsetTest, ResizeGrowsClearAndKeepsSetBits) {
+  DenseBitset bits(10);
+  bits.Set(3);
+  bits.Set(9);
+  bits.Resize(300);
+  EXPECT_EQ(bits.size(), 300u);
+  EXPECT_TRUE(bits.Test(3));
+  EXPECT_TRUE(bits.Test(9));
+  EXPECT_EQ(bits.Count(), 2u);
+  for (uint64_t i = 10; i < 300; ++i) {
+    EXPECT_FALSE(bits.Test(i));
+  }
+}
+
+TEST(DenseBitsetTest, ResizeShrinkMasksTail) {
+  // Shrinking must clear the bits beyond the new size inside the
+  // surviving tail word, or Count/Any would see ghosts.
+  DenseBitset bits(128);
+  for (uint64_t i = 0; i < 128; ++i) {
+    bits.Set(i);
+  }
+  bits.Resize(70);
+  EXPECT_EQ(bits.size(), 70u);
+  EXPECT_EQ(bits.Count(), 70u);
+  bits.Resize(128);
+  for (uint64_t i = 70; i < 128; ++i) {
+    EXPECT_FALSE(bits.Test(i)) << i;
+  }
+}
+
+TEST(DenseBitsetTest, IntersectionCount) {
+  DenseBitset a(150);
+  DenseBitset b(150);
+  a.Set(1);
+  a.Set(64);
+  a.Set(149);
+  b.Set(64);
+  b.Set(100);
+  b.Set(149);
+  EXPECT_EQ(a.IntersectionCount(b), 2u);
+  EXPECT_EQ(b.IntersectionCount(a), 2u);
+}
+
+TEST(DenseBitsetTest, InplaceOps) {
+  DenseBitset a(96);
+  DenseBitset b(96);
+  a.Set(0);
+  a.Set(70);
+  b.Set(70);
+  b.Set(95);
+
+  DenseBitset or_ab = a;
+  or_ab.InplaceOr(b);
+  EXPECT_TRUE(or_ab.Test(0));
+  EXPECT_TRUE(or_ab.Test(70));
+  EXPECT_TRUE(or_ab.Test(95));
+  EXPECT_EQ(or_ab.Count(), 3u);
+
+  DenseBitset and_ab = a;
+  and_ab.InplaceAnd(b);
+  EXPECT_EQ(and_ab.Count(), 1u);
+  EXPECT_TRUE(and_ab.Test(70));
+
+  DenseBitset diff_ab = a;
+  diff_ab.InplaceAndNot(b);
+  EXPECT_EQ(diff_ab.Count(), 1u);
+  EXPECT_TRUE(diff_ab.Test(0));
+}
+
+TEST(DenseBitsetTest, ForEachSetBitVisitsInOrder) {
+  DenseBitset bits(200);
+  const std::vector<uint64_t> expected = {0, 5, 63, 64, 65, 127, 128, 199};
+  for (const uint64_t i : expected) {
+    bits.Set(i);
+  }
+  std::vector<uint64_t> visited;
+  bits.ForEachSetBit([&visited](uint64_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(DenseBitsetTest, HeapBytesMatchesWordStorage) {
+  DenseBitset bits(129);  // 3 words
+  EXPECT_EQ(bits.HeapBytes(), 3 * sizeof(uint64_t));
+  EXPECT_EQ(bits.words().size(), 3u);
+}
+
+// Property sweep: a random mix of every mutating operation, mirrored
+// into a std::vector<bool> oracle; after each phase the full state and
+// the aggregate queries must agree bit for bit. Sizes straddle word
+// boundaries (the classic masking bug surface).
+TEST(DenseBitsetPropertyTest, AgreesWithVectorBoolOracle) {
+  SplitMix64 rng(0x5eedb175ULL);
+  const uint64_t sizes[] = {1, 63, 64, 65, 127, 128, 129, 1000, 4096, 4100};
+  for (const uint64_t size : sizes) {
+    DenseBitset bits(size);
+    std::vector<bool> oracle(size, false);
+
+    for (int op = 0; op < 2000; ++op) {
+      const uint64_t i = rng.NextBounded(size);
+      switch (rng.NextBounded(4)) {
+        case 0:
+          bits.Set(i);
+          oracle[i] = true;
+          break;
+        case 1:
+          bits.Reset(i);
+          oracle[i] = false;
+          break;
+        case 2: {
+          const bool was_clear = !oracle[i];
+          EXPECT_EQ(bits.TestAndSet(i), was_clear);
+          oracle[i] = true;
+          break;
+        }
+        default:
+          EXPECT_EQ(bits.Test(i), oracle[i]);
+          break;
+      }
+    }
+
+    uint64_t oracle_count = 0;
+    for (uint64_t i = 0; i < size; ++i) {
+      EXPECT_EQ(bits.Test(i), oracle[i]) << "size=" << size << " bit=" << i;
+      oracle_count += oracle[i] ? 1 : 0;
+    }
+    EXPECT_EQ(bits.Count(), oracle_count) << "size=" << size;
+    EXPECT_EQ(bits.Any(), oracle_count > 0) << "size=" << size;
+
+    std::vector<uint64_t> visited;
+    bits.ForEachSetBit([&visited](uint64_t i) { visited.push_back(i); });
+    EXPECT_EQ(visited.size(), oracle_count);
+    for (const uint64_t i : visited) {
+      EXPECT_TRUE(oracle[i]);
+    }
+  }
+}
+
+// Word-parallel binary ops against the oracle, including the tail word.
+TEST(DenseBitsetPropertyTest, BinaryOpsAgreeWithOracle) {
+  SplitMix64 rng(0xb0075ULL);
+  const uint64_t sizes[] = {64, 100, 129, 513};
+  for (const uint64_t size : sizes) {
+    DenseBitset a(size);
+    DenseBitset b(size);
+    std::vector<bool> oa(size, false);
+    std::vector<bool> ob(size, false);
+    for (uint64_t i = 0; i < size; ++i) {
+      if (rng.NextDouble() < 0.4) {
+        a.Set(i);
+        oa[i] = true;
+      }
+      if (rng.NextDouble() < 0.4) {
+        b.Set(i);
+        ob[i] = true;
+      }
+    }
+
+    uint64_t expected_intersection = 0;
+    for (uint64_t i = 0; i < size; ++i) {
+      expected_intersection += (oa[i] && ob[i]) ? 1 : 0;
+    }
+    EXPECT_EQ(a.IntersectionCount(b), expected_intersection);
+
+    DenseBitset or_ab = a;
+    or_ab.InplaceOr(b);
+    DenseBitset and_ab = a;
+    and_ab.InplaceAnd(b);
+    DenseBitset andnot_ab = a;
+    andnot_ab.InplaceAndNot(b);
+    for (uint64_t i = 0; i < size; ++i) {
+      EXPECT_EQ(or_ab.Test(i), oa[i] || ob[i]);
+      EXPECT_EQ(and_ab.Test(i), oa[i] && ob[i]);
+      EXPECT_EQ(andnot_ab.Test(i), oa[i] && !ob[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpsl

@@ -40,6 +40,7 @@
 
 #include "benchkit/comparator.h"
 #include "benchkit/measure.h"
+#include "benchkit/micro_kernels.h"
 #include "benchkit/record.h"
 #include "benchkit/runner.h"
 #include "benchkit/scenario.h"
@@ -273,16 +274,35 @@ int Smoke(const Options& options) {
   if (!RunAll(scenarios, options, run_options, &records, &within_budget)) {
     return 1;
   }
-  // Per-kind metric contract (ingest scans have no partition quality).
+  // Per-kind metric contract (ingest scans have no partition quality;
+  // micro-kernels have no dataset or quality at all).
   const std::vector<const char*> partition_required = {
       "seconds", "replication_factor", "measured_alpha",
       "state_bytes", "num_edges", "peak_rss_bytes"};
   const std::vector<const char*> scan_required = {
       "seconds", "num_edges", "file_bytes", "edges_per_second",
       "peak_rss_bytes"};
+  std::vector<std::string> micro_required = {"seconds", "num_edges",
+                                             "checksum_low32"};
+  for (const std::string& kernel : tpsl::benchkit::MicroKernelNames()) {
+    micro_required.push_back("phase_seconds/" + kernel);
+    micro_required.push_back("edges_per_sec/" + kernel);
+  }
   bool ok = true;
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& record = records[i];
+    if (scenarios[i].kind == ScenarioKind::kMicroKernel) {
+      for (const std::string& name : micro_required) {
+        const double* value = record.FindMetric(name);
+        if (value == nullptr || !std::isfinite(*value)) {
+          std::fprintf(stderr,
+                       "smoke: %s metric '%s' missing or non-finite\n",
+                       record.scenario.c_str(), name.c_str());
+          ok = false;
+        }
+      }
+      continue;
+    }
     const bool is_scan = scenarios[i].kind == ScenarioKind::kIngestScan;
     for (const char* name : is_scan ? scan_required : partition_required) {
       const double* value = record.FindMetric(name);
