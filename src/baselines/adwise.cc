@@ -33,12 +33,12 @@ Status AdwisePartitioner::Partition(EdgeStream& stream,
 
   DegreeTable degrees;
   {
-    ScopedTimer timer(&out.phase_seconds["degree"]);
+    PhaseTimer timer(&out, "degree");
     TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
   }
   out.stream_passes += 1;
 
-  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer timer(&out, "partitioning");
   ScoreTables tables(degrees.num_vertices(), config.num_partitions,
                      config.PartitionCapacity(degrees.num_edges));
   out.state_bytes = tables.HeapBytes() +

@@ -19,13 +19,13 @@ Status DbhPartitioner::Partition(EdgeStream& stream,
 
   DegreeTable degrees;
   {
-    ScopedTimer timer(&out.phase_seconds["degree"]);
+    PhaseTimer timer(&out, "degree");
     TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
   }
   out.stream_passes += 1;
   out.state_bytes = degrees.degrees.size() * sizeof(uint32_t);
 
-  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer timer(&out, "partitioning");
   const uint32_t k = config.num_partitions;
   const uint64_t seed = config.seed;
   // DBH carries no partition state — its only random access is the

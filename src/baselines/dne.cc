@@ -87,7 +87,7 @@ Status DnePartitioner::Partition(EdgeStream& stream,
   std::vector<Edge> edges;
   VertexId max_id = 0;
   {
-    ScopedTimer timer(&out.phase_seconds["load"]);
+    PhaseTimer timer(&out, "load");
     edges.reserve(stream.NumEdgesHint());
     TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
       edges.push_back(e);
@@ -96,7 +96,7 @@ Status DnePartitioner::Partition(EdgeStream& stream,
   }
   out.stream_passes += 1;
 
-  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer timer(&out, "partitioning");
   const uint32_t k = config.num_partitions;
   const VertexId num_vertices = edges.empty() ? 0 : max_id + 1;
   const expansion::IndexedAdjacency adjacency =

@@ -30,7 +30,7 @@ Status GridPartitioner::Partition(EdgeStream& stream,
   }
   PartitionStats local;
   PartitionStats& out = stats != nullptr ? *stats : local;
-  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer timer(&out, "partitioning");
 
   const uint32_t k = config.num_partitions;
   const uint32_t rows = GridRows(k);

@@ -14,7 +14,7 @@ Status HashPartitioner::Partition(EdgeStream& stream,
   }
   PartitionStats local;
   PartitionStats& out = stats != nullptr ? *stats : local;
-  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer timer(&out, "partitioning");
 
   const uint32_t k = config.num_partitions;
   const uint64_t seed = config.seed;

@@ -24,12 +24,12 @@ Status HdrfPartitioner::Partition(EdgeStream& stream,
   // whose |E| is known from the file size).
   DegreeTable degrees;
   {
-    ScopedTimer timer(&out.phase_seconds["degree"]);
+    PhaseTimer timer(&out, "degree");
     TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
   }
   out.stream_passes += 1;
 
-  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer timer(&out, "partitioning");
   const VertexId num_vertices = degrees.num_vertices();
 
   ScoreTables tables(num_vertices, config.num_partitions,

@@ -45,12 +45,12 @@ Status HepPartitioner::Partition(EdgeStream& stream,
 
   DegreeTable degrees;
   {
-    ScopedTimer timer(&out.phase_seconds["degree"]);
+    PhaseTimer timer(&out, "degree");
     TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
   }
   out.stream_passes += 1;
 
-  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer timer(&out, "partitioning");
   const uint32_t k = config.num_partitions;
   const uint64_t capacity = config.PartitionCapacity(degrees.num_edges);
 

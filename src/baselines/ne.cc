@@ -156,7 +156,7 @@ Status NePartitioner::Partition(EdgeStream& stream,
   std::vector<Edge> edges;
   VertexId max_id = 0;
   {
-    ScopedTimer timer(&out.phase_seconds["load"]);
+    PhaseTimer timer(&out, "load");
     edges.reserve(stream.NumEdgesHint());
     TPSL_RETURN_IF_ERROR(ForEachEdge(stream, [&](const Edge& e) {
       edges.push_back(e);
@@ -165,7 +165,7 @@ Status NePartitioner::Partition(EdgeStream& stream,
   }
   out.stream_passes += 1;
 
-  ScopedTimer timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer timer(&out, "partitioning");
   const VertexId num_vertices = edges.empty() ? 0 : max_id + 1;
   const expansion::IndexedAdjacency adjacency =
       expansion::IndexedAdjacency::Build(edges, num_vertices);

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "benchkit/micro_kernels.h"
+#include "benchkit/obs_kernels.h"
+
 namespace tpsl {
 namespace benchkit {
 namespace {
@@ -87,6 +90,24 @@ void AppendConfigNote(const BenchRecord& baseline, const BenchRecord& current,
 }  // namespace
 
 ToleranceSpec DefaultToleranceFor(const std::string& metric) {
+  if (metric.starts_with("obs/")) {
+    // Observability snapshots (counters, gauges, histogram
+    // percentiles) attached to the record for humans and dashboards:
+    // run-shape diagnostics, never acceptance criteria.
+    return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
+            .informational = true};
+  }
+  if (metric == "edges_per_sec/span_off" ||
+      metric == "edges_per_sec/counter_add" ||
+      metric == "edges_per_sec/hist_record") {
+    // The micro_obs overhead gates: disabled-span, sharded-counter and
+    // histogram hot paths must stay at noise-level cost. Same generous
+    // one-sided band as the hot-loop throughput gate — it exists to
+    // catch an accidentally heavyweight instrumentation path (a lock,
+    // an allocation), not CI hardware jitter.
+    return {.rel = 0.75, .abs_floor = 0.0, .upper_only = true,
+            .informational = false, .higher_is_better = true};
+  }
   if (metric == "seconds") {
     // CI hardware differs from the machine that pinned the baseline;
     // gate only gross slowdowns (>3x beyond a 0.05 s noise floor).
@@ -168,6 +189,45 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric,
     spec.rel = 0.10;
   }
   return spec;
+}
+
+std::vector<std::string> GatedMetricsForScenario(const Scenario& scenario) {
+  // The metrics each scenario kind emits that are candidates for
+  // gating; the thread-aware tolerance policy below is the single
+  // source of truth for which of them the gate actually enforces.
+  std::vector<std::string> candidates;
+  switch (scenario.kind) {
+    case ScenarioKind::kInMemory:
+    case ScenarioKind::kDiskPartition:
+      candidates = {"seconds",     "replication_factor",
+                    "measured_alpha", "state_bytes",
+                    "num_edges",   "edges_per_sec/partitioning"};
+      if (scenario.kind == ScenarioKind::kDiskPartition) {
+        candidates.push_back("max_rss_bytes");
+      }
+      break;
+    case ScenarioKind::kIngestScan:
+      candidates = {"seconds", "num_edges", "file_bytes"};
+      break;
+    case ScenarioKind::kMicroKernel:
+    case ScenarioKind::kMicroObs: {
+      candidates = {"seconds", "num_edges", "checksum_low32"};
+      const std::vector<std::string>& kernels =
+          scenario.kind == ScenarioKind::kMicroKernel ? MicroKernelNames()
+                                                      : ObsKernelNames();
+      for (const std::string& kernel : kernels) {
+        candidates.push_back("edges_per_sec/" + kernel);
+      }
+      break;
+    }
+  }
+  std::vector<std::string> gated;
+  for (const std::string& metric : candidates) {
+    if (!DefaultToleranceFor(metric, scenario.threads).informational) {
+      gated.push_back(metric);
+    }
+  }
+  return gated;
 }
 
 ScenarioComparison CompareRecord(const BenchRecord& baseline,

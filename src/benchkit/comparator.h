@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "benchkit/record.h"
+#include "benchkit/scenario.h"
 
 namespace tpsl {
 namespace benchkit {
@@ -45,6 +46,12 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric);
 /// threads == 1 is exactly DefaultToleranceFor(metric).
 ToleranceSpec DefaultToleranceFor(const std::string& metric,
                                   uint32_t threads);
+
+/// The metrics --check actually gates for `scenario` (its emitted
+/// metrics filtered through the thread-aware tolerance policy, in
+/// emission order). Drives the --list table, so the registry
+/// self-documents what each scenario's gate enforces.
+std::vector<std::string> GatedMetricsForScenario(const Scenario& scenario);
 
 enum class MetricStatus {
   kOk,        // within tolerance

@@ -1,0 +1,40 @@
+#ifndef TPSL_BENCHKIT_OBS_KERNELS_H_
+#define TPSL_BENCHKIT_OBS_KERNELS_H_
+
+#include <string>
+#include <vector>
+
+#include "benchkit/record.h"
+#include "benchkit/runner.h"
+#include "benchkit/scenario.h"
+#include "util/status.h"
+
+namespace tpsl {
+namespace benchkit {
+
+/// The observability overhead kernels, in the order micro_obs times
+/// them:
+///   span_off      - TraceSpan construct/destruct with tracing off:
+///                   the cost every instrumented scope pays always.
+///   span_on       - full span emit into the thread ring with tracing
+///                   on (clock reads + seqlock slot write).
+///   counter_add   - sharded Counter::Add on the default registry.
+///   hist_record   - log-bucketed Histogram::RecordNanos.
+///   partition_off - a real 2PS-L run (OK graph) with tracing off:
+///                   end-to-end proof the disabled layer stays at
+///                   noise level on actual partitioning work.
+/// The rates of span_off / counter_add / hist_record are gated by
+/// --check (see DefaultToleranceFor); span_on and partition_off are
+/// informational context.
+const std::vector<std::string>& ObsKernelNames();
+
+/// Runs the kernels for a kMicroObs scenario and returns the record
+/// (metrics shaped like RunMicroKernels: per-kernel phase_seconds and
+/// edges_per_sec, total seconds/num_edges, folded checksum_low32).
+StatusOr<BenchRecord> RunObsKernels(const Scenario& scenario,
+                                    const RunScenarioOptions& options);
+
+}  // namespace benchkit
+}  // namespace tpsl
+
+#endif  // TPSL_BENCHKIT_OBS_KERNELS_H_

@@ -6,11 +6,37 @@
 #include "exec/thread_pool.h"
 #include "graph/datasets.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 #include "partition/partitioner.h"
 #include "util/memory.h"
 
 namespace tpsl {
 namespace benchkit {
+
+void AttachObsMetrics(BenchRecord* record) {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Default().Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value != 0) {
+      record->SetMetric("obs/" + name, static_cast<double>(value));
+    }
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (value != 0.0) {
+      record->SetMetric("obs/" + name, value);
+    }
+  }
+  for (const obs::MetricsSnapshot::HistogramRow& row : snapshot.histograms) {
+    if (row.summary.count == 0) {
+      continue;
+    }
+    record->SetMetric("obs/" + row.name + "/count",
+                      static_cast<double>(row.summary.count));
+    record->SetMetric("obs/" + row.name + "/p50", row.summary.p50);
+    record->SetMetric("obs/" + row.name + "/p90", row.summary.p90);
+    record->SetMetric("obs/" + row.name + "/p99", row.summary.p99);
+  }
+}
 
 StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
                                   const RunScenarioOptions& options) {
@@ -30,6 +56,10 @@ StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
   // unsupported the metric degrades to the lifetime peak — still a
   // valid upper bound, and it is informational, never gated.
   ResetPeakRss();
+  // Scenario-scoped obs snapshot: counters/histograms accumulated here
+  // are attached to the record below, so each record describes its own
+  // run, not the process lifetime.
+  obs::MetricsRegistry::Default().Reset();
   TPSL_ASSIGN_OR_RETURN(std::vector<Edge> edges,
                         LoadDataset(scenario.dataset, shift));
   // Resolve 0-means-hardware here, not just inside the partitioner:
@@ -82,6 +112,7 @@ StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
                        static_cast<double>(edges.size()) / seconds);
     }
   }
+  AttachObsMetrics(&record);
   return record;
 }
 

@@ -33,6 +33,13 @@ struct RunScenarioOptions {
 StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
                                   const RunScenarioOptions& options = {});
 
+/// Folds the default obs::MetricsRegistry snapshot into `record` as
+/// informational "obs/<name>" metrics (histograms expand to
+/// /count,/p50,/p90,/p99; zero-valued metrics are skipped). Callers
+/// Reset() the registry before the measured work so the snapshot is
+/// scenario-scoped.
+void AttachObsMetrics(BenchRecord* record);
+
 }  // namespace benchkit
 }  // namespace tpsl
 

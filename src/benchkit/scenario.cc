@@ -80,6 +80,13 @@ const std::vector<Scenario>& PinnedScenarios() {
       {"micro_state_kernel",
        "state-kernel scoring/bitset micro-benchmarks (hot-loop gate)",
        "micro", "synthetic", 32, 0, 42, 1, ScenarioKind::kMicroKernel},
+      // Observability overhead gate: disabled-span / counter /
+      // histogram hot paths, span throughput with tracing on, and a
+      // real tracing-off 2PS-L run. Keeps the obs layer honest — the
+      // disabled cost must stay at noise level.
+      {"micro_obs",
+       "observability span/counter/histogram overhead micro-benchmarks",
+       "micro", "synthetic", 32, 0, 42, 1, ScenarioKind::kMicroObs},
   };
   return *scenarios;
 }
@@ -93,6 +100,8 @@ const char* ScenarioKindLabel(ScenarioKind kind) {
     case ScenarioKind::kIngestScan:
       return "ingest";
     case ScenarioKind::kMicroKernel:
+      return "micro";
+    case ScenarioKind::kMicroObs:
       return "micro";
   }
   return "?";

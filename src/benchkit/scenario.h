@@ -28,6 +28,11 @@ enum class ScenarioKind {
   /// `partitioner` and `dataset` are placeholders for record identity.
   /// See benchkit/micro_kernels.h.
   kMicroKernel,
+  /// Observability-layer overhead: span/counter/histogram hot paths in
+  /// isolation plus a real tracing-off 2PS-L run, so --check catches
+  /// instrumentation that starts taxing the numbers it reports. See
+  /// benchkit/obs_kernels.h.
+  kMicroObs,
 };
 
 /// One pinned benchmark configuration: a named, seeded synthetic-graph

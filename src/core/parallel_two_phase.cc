@@ -137,6 +137,7 @@ Status ParallelPass(EdgeStream& stream, exec::ThreadPool& pool,
   return exec::ParallelForEdges(
       stream, pool, options,
       [&](const Edge* edges, size_t count) -> Status {
+        obs::TraceSpan span("score.batch", "partition");
         std::vector<std::pair<Edge, PartitionId>> results;
         results.reserve(count);
         for (size_t i = 0; i < count; ++i) {
@@ -151,6 +152,7 @@ Status ParallelPass(EdgeStream& stream, exec::ThreadPool& pool,
             sink.Assign(edge, partition);
           }
         }
+        ScoredEdgesCounter()->Add(count);
         return Status::OK();
       });
 }
@@ -173,14 +175,14 @@ Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
   // --- Sequential Phase 1 (cheap; see class comment). ---
   DegreeTable degrees;
   {
-    ScopedTimer timer(&out.phase_seconds["degree"]);
+    PhaseTimer timer(&out, "degree");
     TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
   }
   out.stream_passes += 1;
 
   Clustering clustering;
   {
-    ScopedTimer timer(&out.phase_seconds["clustering"]);
+    PhaseTimer timer(&out, "clustering");
     TPSL_ASSIGN_OR_RETURN(
         clustering, StreamingClustering(stream, degrees,
                                         config.num_partitions,
@@ -189,7 +191,7 @@ Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
   out.stream_passes += options_.clustering.num_passes;
 
   // --- Parallel Phase 2 on the execution engine. ---
-  ScopedTimer partition_timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer partition_timer(&out, "partitioning");
   const ClusterSchedule schedule = ScheduleClustersGraham(
       clustering.cluster_volumes, config.num_partitions);
 

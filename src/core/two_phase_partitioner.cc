@@ -48,7 +48,7 @@ Status TwoPhasePartitioner::Partition(EdgeStream& stream,
   // --- Degree pass (reported separately, as in paper Fig. 5). ---
   DegreeTable degrees;
   {
-    ScopedTimer timer(&out.phase_seconds["degree"]);
+    PhaseTimer timer(&out, "degree");
     TPSL_ASSIGN_OR_RETURN(degrees, ComputeDegrees(stream));
   }
   out.stream_passes += 1;
@@ -56,7 +56,7 @@ Status TwoPhasePartitioner::Partition(EdgeStream& stream,
   // --- Phase 1: streaming clustering. ---
   Clustering clustering;
   {
-    ScopedTimer timer(&out.phase_seconds["clustering"]);
+    PhaseTimer timer(&out, "clustering");
     TPSL_ASSIGN_OR_RETURN(
         clustering, StreamingClustering(stream, degrees,
                                         config.num_partitions,
@@ -65,7 +65,7 @@ Status TwoPhasePartitioner::Partition(EdgeStream& stream,
   out.stream_passes += options_.clustering.num_passes;
 
   // --- Phase 2: mapping, pre-partitioning, scoring pass. ---
-  ScopedTimer partition_timer(&out.phase_seconds["partitioning"]);
+  PhaseTimer partition_timer(&out, "partitioning");
 
   const ClusterSchedule schedule =
       options_.scheduling == SchedulingMode::kGraham

@@ -69,10 +69,18 @@ class ThreadPool {
 
   const uint32_t num_threads_;
 
+  /// A queued task plus its enqueue timestamp, so the worker that
+  /// dequeues it can attribute queue-wait vs. run time (obs
+  /// histograms "exec.queue_wait_seconds" / "exec.task_run_seconds").
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_ns = 0;
+  };
+
   std::mutex mutex_;
   std::condition_variable work_cv_;  // pool -> workers: task available
   std::condition_variable idle_cv_;  // workers -> Wait(): all done
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   uint64_t pending_ = 0;  // queued + currently running tasks
   bool stop_ = false;
   bool started_ = false;

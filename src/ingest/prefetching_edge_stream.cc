@@ -2,10 +2,50 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tpsl {
 namespace ingest {
+
+namespace {
+
+// Reader instrumentation: was the next buffer ready when the consumer
+// arrived (hit) or did compute outrun I/O (miss + stall time), and how
+// long the producer sat blocked on a full ring. All per-slot (256K
+// edges by default), so the cost is invisible next to the memcpy.
+obs::Counter* PrefetchHits() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Default().GetCounter("ingest.prefetch_hit");
+  return counter;
+}
+
+obs::Counter* PrefetchMisses() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Default().GetCounter("ingest.prefetch_miss");
+  return counter;
+}
+
+obs::Counter* EdgesPrefetched() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Default().GetCounter("ingest.edges_prefetched");
+  return counter;
+}
+
+obs::Histogram* ConsumerWaitHist() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Default().GetHistogram(
+      "ingest.consumer_wait_seconds");
+  return hist;
+}
+
+obs::Histogram* ProducerWaitHist() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Default().GetHistogram(
+      "ingest.producer_wait_seconds");
+  return hist;
+}
+
+}  // namespace
 
 PrefetchingEdgeStream::PrefetchingEdgeStream(
     std::unique_ptr<EdgeStream> inner, size_t buffer_edges)
@@ -45,7 +85,14 @@ void PrefetchingEdgeStream::WorkerLoop() {
     Slot& slot = slots_[produce_slot];
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      slot_free_cv_.wait(lock, [&] { return stop_ || !slot.ready; });
+      if (!stop_ && slot.ready) {
+        // Both buffers full: compute is the bottleneck here. Record how
+        // long the producer sat blocked.
+        const int64_t wait_start_ns = obs::TraceNowNanos();
+        slot_free_cv_.wait(lock, [&] { return stop_ || !slot.ready; });
+        ProducerWaitHist()->RecordNanos(
+            static_cast<uint64_t>(obs::TraceNowNanos() - wait_start_ns));
+      }
       if (stop_) {
         return;
       }
@@ -53,15 +100,19 @@ void PrefetchingEdgeStream::WorkerLoop() {
     // Fill outside the lock: the consumer never touches a slot that is
     // not ready, and the inner stream is worker-owned during a pass.
     size_t filled = 0;
-    while (filled < buffer_edges_) {
-      const size_t n = inner_->Next(slot.edges.data() + filled,
-                                    buffer_edges_ - filled);
-      if (n == 0) {
-        eof = true;
-        break;
+    {
+      obs::TraceSpan span("ingest.fill", "ingest");
+      while (filled < buffer_edges_) {
+        const size_t n = inner_->Next(slot.edges.data() + filled,
+                                      buffer_edges_ - filled);
+        if (n == 0) {
+          eof = true;
+          break;
+        }
+        filled += n;
       }
-      filled += n;
     }
+    EdgesPrefetched()->Add(filled);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       slot.filled = filled;
@@ -107,8 +158,19 @@ size_t PrefetchingEdgeStream::Next(Edge* out, size_t capacity) {
     if (!consumer_holds_slot_) {
       std::unique_lock<std::mutex> lock(mutex_);
       Slot& slot = slots_[consume_slot_];
-      slot_ready_cv_.wait(lock,
-                          [&] { return slot.ready || producer_done_; });
+      if (slot.ready) {
+        PrefetchHits()->Increment();
+      } else if (!producer_done_) {
+        // Compute outran the disk: this wait is the ingest stall the
+        // paper's overlap design exists to hide.
+        PrefetchMisses()->Increment();
+        const int64_t wait_start_ns = obs::TraceNowNanos();
+        slot_ready_cv_.wait(lock,
+                            [&] { return slot.ready || producer_done_; });
+        const int64_t wait_ns = obs::TraceNowNanos() - wait_start_ns;
+        ConsumerWaitHist()->RecordNanos(static_cast<uint64_t>(wait_ns));
+        obs::EmitComplete("ingest.stall", "ingest", wait_start_ns, wait_ns);
+      }
       if (!slot.ready) {
         break;  // producer finished and this slot was never filled
       }

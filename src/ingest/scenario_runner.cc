@@ -7,7 +7,10 @@
 #include "exec/thread_pool.h"
 #include "graph/binary_edge_list.h"
 #include "benchkit/micro_kernels.h"
+#include "benchkit/obs_kernels.h"
+#include "benchkit/runner.h"
 #include "ingest/catalog.h"
+#include "obs/metrics.h"
 #include "ingest/prefetching_edge_stream.h"
 #include "partition/runner.h"
 #include "util/memory.h"
@@ -75,6 +78,7 @@ StatusOr<BenchRecord> RunDiskPartition(const Scenario& scenario,
   TPSL_ASSIGN_OR_RETURN(const EnsureResult dataset,
                         EnsureScenarioDataset(scenario, context));
   const bool rss_scoped = ResetPeakRss();
+  obs::MetricsRegistry::Default().Reset();
   TPSL_ASSIGN_OR_RETURN(
       std::unique_ptr<PrefetchingEdgeStream> stream,
       OpenPrefetched(dataset.path, context.prefetch_buffer_edges));
@@ -157,6 +161,7 @@ StatusOr<BenchRecord> RunDiskPartition(const Scenario& scenario,
                        static_cast<double>(dataset.num_edges) / seconds);
     }
   }
+  benchkit::AttachObsMetrics(&record);
   return record;
 }
 
@@ -165,6 +170,7 @@ StatusOr<BenchRecord> RunIngestScan(const Scenario& scenario,
   TPSL_ASSIGN_OR_RETURN(const EnsureResult dataset,
                         EnsureScenarioDataset(scenario, context));
   ResetPeakRss();
+  obs::MetricsRegistry::Default().Reset();
 
   const int repeats = context.options.repeats > 0 ? context.options.repeats
                                                   : 1;
@@ -224,6 +230,7 @@ StatusOr<BenchRecord> RunIngestScan(const Scenario& scenario,
       seconds > 0.0 ? dataset.file_bytes / (1e6 * seconds) : 0.0);
   record.SetMetric("plain_seconds", plain_seconds);
   record.SetMetric("peak_rss_bytes", static_cast<double>(PeakRssBytes()));
+  benchkit::AttachObsMetrics(&record);
   return record;
 }
 
@@ -242,6 +249,8 @@ StatusOr<BenchRecord> RunScenarioWithIngest(const Scenario& scenario,
       // No dataset, no ingest: synthetic seeded state, timed in
       // benchkit itself.
       return benchkit::RunMicroKernels(scenario, context.options);
+    case ScenarioKind::kMicroObs:
+      return benchkit::RunObsKernels(scenario, context.options);
   }
   return Status::Internal("unhandled scenario kind");
 }

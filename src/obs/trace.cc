@@ -1,0 +1,271 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tpsl {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// Per-thread ring capacity (power of two). 8192 events x 5 atomic
+// words = 320 KiB per emitting thread, allocated lazily on the first
+// emit so a tracing-off run never pays for it.
+constexpr uint64_t kRingCapacity = 8192;
+constexpr uint64_t kRingMask = kRingCapacity - 1;
+
+enum EventKind : uint64_t { kComplete = 0, kCounter = 1 };
+
+/// One seqlock-protected event slot. Every field is a relaxed atomic,
+/// so a reader racing the owning writer sees values, never torn bytes;
+/// the odd/even `seq` protocol tells it which values are consistent.
+struct Slot {
+  std::atomic<uint64_t> seq{0};  // 2h+1 while writing entry h, 2h+2 after
+  std::atomic<uint64_t> kind{0};
+  std::atomic<uint64_t> name{0};      // const char* bits (static storage)
+  std::atomic<uint64_t> category{0};  // const char* bits, 0 for counters
+  std::atomic<int64_t> start_ns{0};
+  std::atomic<int64_t> extra{0};  // kComplete: duration ns; kCounter:
+                                  // double value bit pattern
+};
+
+/// One thread's ring. Written only by the owning thread; `head` and the
+/// slot seqlocks make concurrent snapshots safe.
+struct ThreadRing {
+  explicit ThreadRing(uint64_t tid_in) : tid(tid_in), slots(kRingCapacity) {}
+
+  void Write(EventKind event_kind, const char* name, const char* category,
+             int64_t start_ns, int64_t extra) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[h & kRingMask];
+    slot.seq.store(2 * h + 1, std::memory_order_relaxed);
+    slot.kind.store(event_kind, std::memory_order_relaxed);
+    slot.name.store(reinterpret_cast<uintptr_t>(name),
+                    std::memory_order_relaxed);
+    slot.category.store(reinterpret_cast<uintptr_t>(category),
+                        std::memory_order_relaxed);
+    slot.start_ns.store(start_ns, std::memory_order_relaxed);
+    slot.extra.store(extra, std::memory_order_relaxed);
+    slot.seq.store(2 * h + 2, std::memory_order_release);
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  const uint64_t tid;
+  std::atomic<uint64_t> head{0};  // entries ever written to this ring
+  std::vector<Slot> slots;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadRing>> rings;  // grow-only
+};
+
+/// Intentionally leaked so instrumentation in late-destroyed statics
+/// (e.g. the global thread pool joining its workers at exit) never
+/// touches a destroyed registry.
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+ThreadRing& RingForThisThread() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.rings.push_back(
+        std::make_unique<ThreadRing>(registry.rings.size() + 1));
+    ring = registry.rings.back().get();
+  }
+  return *ring;
+}
+
+/// A consistent copy of one slot, or nullopt-style failure via the
+/// return flag. Seqlock read: seq before, fields, fence, seq after.
+struct EventCopy {
+  uint64_t kind;
+  const char* name;
+  const char* category;
+  int64_t start_ns;
+  int64_t extra;
+  uint64_t tid;
+};
+
+bool ReadSlot(Slot& slot, uint64_t entry, EventCopy* out) {
+  const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+  if (seq_before != 2 * entry + 2) {
+    return false;  // mid-write, overwritten, or never written
+  }
+  out->kind = slot.kind.load(std::memory_order_relaxed);
+  out->name = reinterpret_cast<const char*>(
+      static_cast<uintptr_t>(slot.name.load(std::memory_order_relaxed)));
+  out->category = reinterpret_cast<const char*>(
+      static_cast<uintptr_t>(slot.category.load(std::memory_order_relaxed)));
+  out->start_ns = slot.start_ns.load(std::memory_order_relaxed);
+  out->extra = slot.extra.load(std::memory_order_relaxed);
+  // Seqlock validity re-check. A no-op RMW instead of the classic
+  // acquire fence + relaxed load: its release half keeps the field
+  // loads above from sinking past the re-read, and tsan models RMWs
+  // precisely where it rejects atomic_thread_fence outright.
+  return slot.seq.fetch_add(0, std::memory_order_acq_rel) == seq_before;
+}
+
+void AppendJsonString(const char* s, std::string* out) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+  out->push_back('"');
+}
+
+std::vector<EventCopy> SnapshotEvents() {
+  std::vector<EventCopy> events;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const std::unique_ptr<ThreadRing>& ring : registry.rings) {
+    const uint64_t end = ring->head.load(std::memory_order_acquire);
+    const uint64_t begin = end > kRingCapacity ? end - kRingCapacity : 0;
+    for (uint64_t entry = begin; entry < end; ++entry) {
+      EventCopy copy;
+      if (ReadSlot(ring->slots[entry & kRingMask], entry, &copy)) {
+        copy.tid = ring->tid;
+        events.push_back(copy);
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+void SetTracingEnabled(bool enabled) {
+  internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t TraceNowNanos() {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - anchor)
+      .count();
+}
+
+void EmitComplete(const char* name, const char* category, int64_t start_ns,
+                  int64_t duration_ns) {
+  if (!TracingEnabled()) {
+    return;
+  }
+  RingForThisThread().Write(kComplete, name, category, start_ns, duration_ns);
+}
+
+void EmitCounter(const char* name, double value) {
+  if (!TracingEnabled()) {
+    return;
+  }
+  RingForThisThread().Write(kCounter, name, nullptr, TraceNowNanos(),
+                            static_cast<int64_t>(std::bit_cast<uint64_t>(value)));
+}
+
+TraceStats GetTraceStats() {
+  TraceStats stats;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const std::unique_ptr<ThreadRing>& ring : registry.rings) {
+    const uint64_t emitted = ring->head.load(std::memory_order_acquire);
+    ++stats.threads;
+    stats.emitted += emitted;
+    stats.recorded += std::min(emitted, kRingCapacity);
+  }
+  stats.dropped = stats.emitted - stats.recorded;
+  return stats;
+}
+
+std::string ChromeTraceJson() {
+  std::vector<EventCopy> events = SnapshotEvents();
+  std::sort(events.begin(), events.end(),
+            [](const EventCopy& a, const EventCopy& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.tid < b.tid;
+            });
+  std::string json = "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const EventCopy& event : events) {
+    if (!first) {
+      json.push_back(',');
+    }
+    first = false;
+    json.append("\n{\"name\":");
+    AppendJsonString(event.name != nullptr ? event.name : "?", &json);
+    if (event.kind == kCounter) {
+      const double value =
+          std::bit_cast<double>(static_cast<uint64_t>(event.extra));
+      std::snprintf(buf, sizeof(buf),
+                    ",\"ph\":\"C\",\"pid\":1,\"tid\":%llu,\"ts\":%.3f,"
+                    "\"args\":{\"value\":%.9g}}",
+                    static_cast<unsigned long long>(event.tid),
+                    static_cast<double>(event.start_ns) / 1000.0, value);
+      json.append(buf);
+    } else {
+      json.append(",\"cat\":");
+      AppendJsonString(event.category != nullptr ? event.category : "?",
+                       &json);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"ts\":%.3f,"
+                    "\"dur\":%.3f}",
+                    static_cast<unsigned long long>(event.tid),
+                    static_cast<double>(event.start_ns) / 1000.0,
+                    static_cast<double>(event.extra) / 1000.0);
+      json.append(buf);
+    }
+  }
+  json.append("\n]}\n");
+  return json;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open trace file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+void ResetTrace() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const std::unique_ptr<ThreadRing>& ring : registry.rings) {
+    for (Slot& slot : ring->slots) {
+      slot.seq.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace obs
+}  // namespace tpsl

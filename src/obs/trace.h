@@ -1,0 +1,100 @@
+#ifndef TPSL_OBS_TRACE_H_
+#define TPSL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tpsl {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+/// Whether span/counter recording is on. The single runtime flag every
+/// instrumentation site branches on: when false, a TraceSpan is one
+/// relaxed atomic load and nothing else — no allocation, no clock read.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips recording globally. Thread-safe. A span whose scope straddles
+/// a flip emits only when tracing was on at both its open and its
+/// close (the open snapshots the timestamp, the close re-checks before
+/// writing), so flipping off mid-span suppresses the partial event.
+void SetTracingEnabled(bool enabled);
+
+/// Monotonic nanoseconds since a process-wide anchor (the first call).
+/// All trace timestamps share this origin, so events from different
+/// threads line up on one timeline.
+int64_t TraceNowNanos();
+
+/// Records a complete ("X") event on the calling thread's ring. `name`
+/// and `category` must point at storage that outlives the trace export
+/// (string literals in practice — the ring stores the pointer, not a
+/// copy). No-op while tracing is disabled.
+void EmitComplete(const char* name, const char* category, int64_t start_ns,
+                  int64_t duration_ns);
+
+/// Records a counter ("C") sample — a named time series the trace
+/// viewer plots, e.g. replication factor over the stream. Same lifetime
+/// contract as EmitComplete; no-op while tracing is disabled.
+void EmitCounter(const char* name, double value);
+
+/// RAII span: captures the start time at construction and emits one
+/// complete event for the enclosing scope at destruction. Disabled
+/// tracing costs exactly the TracingEnabled() branch.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category) {
+    if (TracingEnabled()) {
+      name_ = name;
+      category_ = category;
+      start_ns_ = TraceNowNanos();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      EmitComplete(name_, category_, start_ns_, TraceNowNanos() - start_ns_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+/// Recording accounting across every thread ring that ever registered.
+struct TraceStats {
+  uint64_t threads = 0;    // rings registered (threads that emitted)
+  uint64_t recorded = 0;   // events currently held in the rings
+  uint64_t emitted = 0;    // events ever written (recorded + overwritten)
+  uint64_t dropped = 0;    // emitted - recorded: lost to ring wrap
+};
+TraceStats GetTraceStats();
+
+/// The current ring contents as Chrome trace-event JSON
+/// ({"traceEvents":[...]}, ts/dur in microseconds) — loadable by
+/// Perfetto / chrome://tracing. Safe to call while other threads are
+/// still emitting: slots caught mid-write are skipped, never torn.
+std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// Discards all recorded events (thread rings stay registered). Meant
+/// for quiescent points between benchmark scenarios; events emitted
+/// concurrently with a reset may survive it.
+void ResetTrace();
+
+}  // namespace obs
+}  // namespace tpsl
+
+#endif  // TPSL_OBS_TRACE_H_

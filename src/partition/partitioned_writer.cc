@@ -3,7 +3,26 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tpsl {
+
+namespace {
+
+obs::Counter* SpillBytesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Default().GetCounter("spill.bytes_written");
+  return counter;
+}
+
+obs::Histogram* SpillFlushHist() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Default().GetHistogram(
+      "spill.flush_seconds");
+  return hist;
+}
+
+}  // namespace
 
 PartitionedWriter::PartitionedWriter(const std::string& prefix,
                                      uint32_t num_partitions)
@@ -60,12 +79,19 @@ Status PartitionedWriter::Finish() {
     return Status::FailedPrecondition("Finish() called twice");
   }
   finished_ = true;
+  obs::TraceSpan span("spill.finish", "sink");
+  SpillBytesCounter()->Add(bytes_written());
   for (size_t p = 0; p < files_.size(); ++p) {
     if (files_[p] != nullptr) {
+      // Per-partition flush+close latency: the write-back tail the
+      // paper's out-of-core loop pays after the last edge is assigned.
+      const int64_t flush_start_ns = obs::TraceNowNanos();
       if (std::fclose(files_[p]) != 0 && status_.ok()) {
         status_ = Status::IoError("close failed for " +
                                   PartitionPath(static_cast<PartitionId>(p)));
       }
+      SpillFlushHist()->RecordNanos(
+          static_cast<uint64_t>(obs::TraceNowNanos() - flush_start_ns));
       files_[p] = nullptr;
     }
   }

@@ -1,15 +1,19 @@
 #ifndef TPSL_PARTITION_PARTITIONER_H_
 #define TPSL_PARTITION_PARTITIONER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "exec/exec_context.h"
 #include "graph/edge_stream.h"
 #include "graph/types.h"
+#include "obs/trace.h"
 #include "partition/assignment_sink.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace tpsl {
 
@@ -74,6 +78,54 @@ struct PartitionStats {
     }
     return total;
   }
+
+  /// Aggregates per-worker stats from a parallel pass into one record
+  /// whose phase_seconds stay wall-clock: concurrent workers overlap,
+  /// so a phase takes as long as its slowest worker (max), not the sum
+  /// of their CPU time. Counts (passes are shared; state and edge
+  /// tallies are disjoint) sum where disjoint, max where shared. With
+  /// one worker this is the identity.
+  static PartitionStats MergeWorkers(
+      const std::vector<PartitionStats>& workers) {
+    PartitionStats merged;
+    for (const PartitionStats& worker : workers) {
+      for (const auto& [name, seconds] : worker.phase_seconds) {
+        double& slot = merged.phase_seconds[name];
+        slot = std::max(slot, seconds);
+      }
+      merged.stream_passes = std::max(merged.stream_passes,
+                                      worker.stream_passes);
+      merged.state_bytes += worker.state_bytes;
+      merged.prepartitioned_edges += worker.prepartitioned_edges;
+      merged.remaining_edges += worker.remaining_edges;
+    }
+    return merged;
+  }
+};
+
+/// Times one named partitioner phase: accumulates wall seconds into
+/// stats->phase_seconds[phase] (the paper's Fig. 5 breakdown) and, when
+/// tracing is on, emits a matching "phase"-category trace span. The
+/// single phase-accounting primitive for every partitioner; `phase`
+/// must be a string literal (the tracer stores the pointer).
+class PhaseTimer {
+ public:
+  PhaseTimer(PartitionStats* stats, const char* phase)
+      : sink_(stats != nullptr ? &stats->phase_seconds[phase] : nullptr),
+        span_(phase, "phase") {}
+  ~PhaseTimer() {
+    if (sink_ != nullptr) {
+      *sink_ += timer_.ElapsedSeconds();
+    }
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  obs::TraceSpan span_;
+  WallTimer timer_;
 };
 
 /// Abstract edge partitioner. Implementations must

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "graph/binary_edge_list.h"
+#include "obs/trace.h"
 #include "partition/assignment_sink.h"
 #include "partition/partitioned_writer.h"
 #include "partition/sink_pipeline.h"
@@ -77,8 +78,11 @@ StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
   }
 
   WallTimer timer;
-  TPSL_RETURN_IF_ERROR(
-      partitioner.Partition(stream, config, pipeline, &result.stats));
+  {
+    obs::TraceSpan span("partition.run", "partition");
+    TPSL_RETURN_IF_ERROR(
+        partitioner.Partition(stream, config, pipeline, &result.stats));
+  }
   // Some partitioners drive Next() manually instead of via ForEachEdge;
   // a stream that failed mid-pass looks like a short EOF to them.
   TPSL_RETURN_IF_ERROR(stream.Health());
@@ -92,6 +96,7 @@ StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
     TPSL_RETURN_IF_ERROR(validating_sink.status());
   }
   if (spill_sink) {
+    obs::TraceSpan span("partition.finish", "partition");
     TPSL_RETURN_IF_ERROR(spill_sink->Finish());
   }
   result.wall_seconds = timer.ElapsedSeconds();

@@ -7,6 +7,8 @@
 #include "core/scoring.h"
 #include "graph/edge_stream.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/replication_table.h"
 #include "util/status.h"
 
@@ -243,6 +245,15 @@ PartitionId PickTwoPhaseLinear(const ReplicaView& replicas, const Edge& e,
 /// the lines are still resident when used.
 inline constexpr size_t kScorePrefetchDistance = 8;
 
+/// The shared per-batch throughput counter behind every sequential
+/// scoring loop: one relaxed Add per 4096-edge batch, so obs snapshots
+/// can report edges scored without touching the per-edge path.
+inline obs::Counter* ScoredEdgesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Default().GetCounter("partition.edges_scored");
+  return counter;
+}
+
 /// One full pass in stream order — the batched score-then-assign
 /// driver. `prefetch(edge)` is issued kScorePrefetchDistance edges
 /// ahead of `process(edge)`; processing order is exactly stream order,
@@ -255,6 +266,7 @@ Status ForEachEdgePrefetched(EdgeStream& stream, PrefetchFn&& prefetch,
   Edge buffer[kBatch];
   size_t n;
   while ((n = stream.Next(buffer, kBatch)) > 0) {
+    obs::TraceSpan span("score.batch", "partition");
     const size_t lead = n < kScorePrefetchDistance ? n : kScorePrefetchDistance;
     for (size_t i = 0; i < lead; ++i) {
       prefetch(buffer[i]);
@@ -265,6 +277,7 @@ Status ForEachEdgePrefetched(EdgeStream& stream, PrefetchFn&& prefetch,
       }
       process(buffer[i]);
     }
+    ScoredEdgesCounter()->Add(n);
   }
   return stream.Health();
 }

@@ -2,7 +2,53 @@
 
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tpsl {
+
+namespace {
+
+obs::Gauge* ReplicationFactorGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Default().GetGauge(
+      "quality.replication_factor");
+  return gauge;
+}
+
+obs::Gauge* MaxLoadSkewGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Default().GetGauge("quality.max_load_skew");
+  return gauge;
+}
+
+obs::Histogram* QualitySampleHist() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Default().GetHistogram(
+      "sink.quality_sample_seconds");
+  return hist;
+}
+
+}  // namespace
+
+void StreamingQualitySink::SampleQuality() const {
+  const int64_t start_ns = obs::TraceNowNanos();
+  const double rf = table_.ReplicationFactor();
+  uint64_t max_load = 0;
+  uint64_t total = 0;
+  for (uint64_t load : loads_) {
+    max_load = std::max(max_load, load);
+    total += load;
+  }
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(loads_.size());
+  const double skew =
+      expected > 0.0 ? static_cast<double>(max_load) / expected : 0.0;
+  ReplicationFactorGauge()->Set(rf);
+  MaxLoadSkewGauge()->Set(skew);
+  obs::EmitCounter("quality.replication_factor", rf);
+  obs::EmitCounter("quality.max_load_skew", skew);
+  QualitySampleHist()->RecordNanos(
+      static_cast<uint64_t>(obs::TraceNowNanos() - start_ns));
+}
 
 PartitionQuality StreamingQualitySink::Quality() const {
   PartitionQuality quality;

@@ -22,8 +22,16 @@ namespace tpsl {
 /// (bit-level) agreement on every registry partitioner.
 class StreamingQualitySink : public AssignmentSink {
  public:
-  explicit StreamingQualitySink(uint32_t num_partitions)
-      : table_(0, num_partitions), loads_(num_partitions, 0) {}
+  /// Every 2^sample_interval_log2 assignments the sink publishes the
+  /// running replication factor and max-load skew to obs gauges (and,
+  /// when tracing, counter events) — quality *convergence over the
+  /// stream*, not just the end state. The per-edge cost of sampling is
+  /// one increment and a mask test.
+  explicit StreamingQualitySink(uint32_t num_partitions,
+                                uint32_t sample_interval_log2 = 16)
+      : table_(0, num_partitions),
+        loads_(num_partitions, 0),
+        sample_mask_((uint64_t{1} << sample_interval_log2) - 1) {}
 
   void Assign(const Edge& edge, PartitionId partition) override {
     const VertexId top = std::max(edge.first, edge.second);
@@ -31,6 +39,9 @@ class StreamingQualitySink : public AssignmentSink {
     table_.Set(edge.first, partition);
     table_.Set(edge.second, partition);
     ++loads_[partition];
+    if (((++assigned_) & sample_mask_) == 0) {
+      SampleQuality();
+    }
   }
 
   /// The quality of everything assigned so far. Field-for-field the
@@ -44,8 +55,13 @@ class StreamingQualitySink : public AssignmentSink {
   }
 
  private:
+  /// O(k) + replication-factor scan, every 2^16 edges by default.
+  void SampleQuality() const;
+
   ReplicationTable table_;
   std::vector<uint64_t> loads_;
+  const uint64_t sample_mask_;
+  uint64_t assigned_ = 0;
 };
 
 /// Enforces the partitioning contract as assignments arrive: when the

@@ -2,14 +2,23 @@
 // JSON perf records and a CI-gradeable baseline diff.
 //
 //   bench_runner --list                      enumerate pinned scenarios
+//                                            (kind/threads + gated metrics)
 //   bench_runner --emit [--out=DIR]          run + write BENCH_<name>.json
 //   bench_runner --check=DIR [--out=DIR]     run, diff against baselines in
 //                                            DIR, exit 1 on regression
 //   bench_runner --smoke                     tiny run of every scenario;
 //                                            verifies metrics, no baselines
+//   bench_runner --run=NAME                  run one scenario once and dump
+//                                            every metric (incl. obs/) to
+//                                            stdout; pairs with --trace
 //
 //   --scenario=NAME   restrict --emit/--check/--smoke to one scenario
 //                     (repeatable)
+//   --trace=FILE      record spans while running (any mode) and export
+//                     them as Chrome trace-event JSON to FILE on exit —
+//                     load in Perfetto (ui.perfetto.dev) or
+//                     chrome://tracing
+//   --verbose         emit debug-severity log lines too
 //   --catalog=FILE    ingest catalog for disk-backed scenarios
 //                     (default bench/catalog.json)
 //   --datasets=DIR    dataset cache dir for disk-backed scenarios,
@@ -41,10 +50,13 @@
 #include "benchkit/comparator.h"
 #include "benchkit/measure.h"
 #include "benchkit/micro_kernels.h"
+#include "benchkit/obs_kernels.h"
 #include "benchkit/record.h"
 #include "benchkit/runner.h"
 #include "benchkit/scenario.h"
 #include "ingest/scenario_runner.h"
+#include "obs/trace.h"
+#include "util/logging.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -62,23 +74,27 @@ using tpsl::ingest::RunScenarioWithIngest;
 using tpsl::ingest::ScenarioRunContext;
 
 struct Options {
-  enum class Mode { kNone, kList, kEmit, kCheck, kSmoke } mode = Mode::kNone;
+  enum class Mode { kNone, kList, kEmit, kCheck, kSmoke, kRun } mode =
+      Mode::kNone;
   std::string baseline_dir;              // --check
   std::string out_dir;                   // --emit/--check output
+  std::string run_scenario;              // --run
   std::vector<std::string> scenarios;    // --scenario filters
   std::string catalog_path = "bench/catalog.json";
   std::string dataset_dir = "bench/.datasets";
   std::string spill_dir = "bench/.spill";
+  std::string trace_path;                // --trace (empty = tracing off)
   uint32_t threads = 0;                  // --threads override (0 = pinned)
   double time_budget_seconds = 0.0;      // --time-budget (0 = no guard)
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (--list | --emit | --check=BASELINE_DIR | --smoke)"
+               "usage: %s (--list | --emit | --check=BASELINE_DIR | --smoke |"
+               " --run=NAME)"
                " [--out=DIR] [--scenario=NAME ...] [--catalog=FILE]"
                " [--datasets=DIR] [--spill-dir=DIR] [--threads=N]"
-               " [--time-budget=SECONDS]\n",
+               " [--time-budget=SECONDS] [--trace=FILE] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -102,8 +118,7 @@ bool SelectScenarios(const Options& options, std::vector<Scenario>* selected) {
   for (const std::string& name : options.scenarios) {
     const Scenario* scenario = tpsl::benchkit::FindScenario(name);
     if (scenario == nullptr) {
-      std::fprintf(stderr, "unknown scenario '%s' (see --list)\n",
-                   name.c_str());
+      TPSL_LOG(Error) << "unknown scenario '" << name << "' (see --list)";
       return false;
     }
     selected->push_back(*scenario);
@@ -123,6 +138,18 @@ int ListScenarios() {
                 s.large ? (s.spill ? "lg+sp" : "large")
                         : (s.spill ? "spill" : "std"),
                 s.description.c_str());
+    // What --check enforces for this scenario, straight from the
+    // tolerance policy — the registry self-documents its gate.
+    std::string gated;
+    for (const std::string& metric :
+         tpsl::benchkit::GatedMetricsForScenario(s)) {
+      if (!gated.empty()) {
+        gated += ", ";
+      }
+      gated += metric;
+    }
+    std::printf("%-26s   gated: %s\n", "",
+                gated.empty() ? "(none)" : gated.c_str());
   }
   return 0;
 }
@@ -145,24 +172,25 @@ bool RunAll(const std::vector<Scenario>& scenarios, const Options& options,
   context.options = run_options;
   context.options.threads_override = options.threads;
   for (const Scenario& scenario : scenarios) {
-    std::fprintf(stderr, "running %-26s ...", scenario.name.c_str());
+    TPSL_LOG(Debug) << "running " << scenario.name;
     tpsl::WallTimer timer;
     auto record = RunScenarioWithIngest(scenario, context);
     const double wall = timer.ElapsedSeconds();
     if (!record.ok()) {
-      std::fprintf(stderr, " failed: %s\n",
-                   record.status().ToString().c_str());
+      TPSL_LOG(Error) << scenario.name << " failed: "
+                      << record.status().ToString();
       return false;
     }
     const double* seconds = record->FindMetric("seconds");
-    std::fprintf(stderr, " %.3fs\n", seconds != nullptr ? *seconds : 0.0);
+    TPSL_LOG(Info) << "ran " << scenario.name << " in "
+                   << (seconds != nullptr ? *seconds : 0.0) << "s ("
+                   << wall << "s wall)";
     if (options.time_budget_seconds > 0.0 &&
         wall > options.time_budget_seconds) {
-      std::fprintf(stderr,
-                   "time budget exceeded: %s took %.1fs wall "
-                   "(--time-budget=%.0f) — shrink the scenario or raise the "
-                   "budget\n",
-                   scenario.name.c_str(), wall, options.time_budget_seconds);
+      TPSL_LOG(Error) << "time budget exceeded: " << scenario.name
+                      << " took " << wall << "s wall (--time-budget="
+                      << options.time_budget_seconds
+                      << ") — shrink the scenario or raise the budget";
       *within_budget = false;
     }
     records->push_back(std::move(record).value());
@@ -175,8 +203,7 @@ bool WriteRecords(const std::vector<BenchRecord>& records,
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) {
-    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
-                 ec.message().c_str());
+    TPSL_LOG(Error) << "cannot create " << out_dir << ": " << ec.message();
     return false;
   }
   for (const BenchRecord& record : records) {
@@ -185,7 +212,7 @@ bool WriteRecords(const std::vector<BenchRecord>& records,
             .string();
     const tpsl::Status status = WriteRecordFile(record, path);
     if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      TPSL_LOG(Error) << status.ToString();
       return false;
     }
     std::printf("wrote %s\n", path.c_str());
@@ -217,7 +244,7 @@ int Check(const Options& options) {
   }
   auto baselines = tpsl::benchkit::ReadRecordDir(options.baseline_dir);
   if (!baselines.ok()) {
-    std::fprintf(stderr, "%s\n", baselines.status().ToString().c_str());
+    TPSL_LOG(Error) << baselines.status().ToString();
     return 1;
   }
   std::vector<BenchRecord> records;
@@ -258,10 +285,9 @@ int Smoke(const Options& options) {
     }
     scenarios.resize(kept);
     if (skipped > 0) {
-      std::fprintf(stderr,
-                   "smoke: skipping %zu large-tier scenario(s); run them via "
-                   "--scenario or the perf gate\n",
-                   skipped);
+      TPSL_LOG(Info) << "smoke: skipping " << skipped
+                     << " large-tier scenario(s); run them via --scenario or "
+                        "the perf gate";
     }
   }
   // Shrink far below the pinned scale: the smoke run exercises the
@@ -288,16 +314,25 @@ int Smoke(const Options& options) {
     micro_required.push_back("phase_seconds/" + kernel);
     micro_required.push_back("edges_per_sec/" + kernel);
   }
+  std::vector<std::string> obs_required = {"seconds", "num_edges",
+                                           "checksum_low32"};
+  for (const std::string& kernel : tpsl::benchkit::ObsKernelNames()) {
+    obs_required.push_back("phase_seconds/" + kernel);
+    obs_required.push_back("edges_per_sec/" + kernel);
+  }
   bool ok = true;
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& record = records[i];
-    if (scenarios[i].kind == ScenarioKind::kMicroKernel) {
-      for (const std::string& name : micro_required) {
+    if (scenarios[i].kind == ScenarioKind::kMicroKernel ||
+        scenarios[i].kind == ScenarioKind::kMicroObs) {
+      const std::vector<std::string>& required =
+          scenarios[i].kind == ScenarioKind::kMicroKernel ? micro_required
+                                                          : obs_required;
+      for (const std::string& name : required) {
         const double* value = record.FindMetric(name);
         if (value == nullptr || !std::isfinite(*value)) {
-          std::fprintf(stderr,
-                       "smoke: %s metric '%s' missing or non-finite\n",
-                       record.scenario.c_str(), name.c_str());
+          TPSL_LOG(Error) << "smoke: " << record.scenario << " metric '"
+                          << name << "' missing or non-finite";
           ok = false;
         }
       }
@@ -307,8 +342,8 @@ int Smoke(const Options& options) {
     for (const char* name : is_scan ? scan_required : partition_required) {
       const double* value = record.FindMetric(name);
       if (value == nullptr || !std::isfinite(*value)) {
-        std::fprintf(stderr, "smoke: %s metric '%s' missing or non-finite\n",
-                     record.scenario.c_str(), name);
+        TPSL_LOG(Error) << "smoke: " << record.scenario << " metric '"
+                        << name << "' missing or non-finite";
         ok = false;
       }
     }
@@ -316,6 +351,43 @@ int Smoke(const Options& options) {
   std::printf("smoke: %zu scenarios ran, metrics %s\n", records.size(),
               ok ? "ok" : "BROKEN");
   return ok && within_budget ? 0 : 1;
+}
+
+/// --run=NAME: one full-scale pass of a single scenario with every
+/// metric (including the informational obs/ snapshot) dumped to
+/// stdout. The sidecar mode for --trace: one scenario, one trace.
+int RunOne(const Options& options) {
+  const Scenario* scenario =
+      tpsl::benchkit::FindScenario(options.run_scenario);
+  if (scenario == nullptr) {
+    TPSL_LOG(Error) << "unknown scenario '" << options.run_scenario
+                    << "' (see --list)";
+    return 2;
+  }
+  ScenarioRunContext context;
+  context.catalog_path = options.catalog_path;
+  context.dataset_dir = options.dataset_dir;
+  context.spill_dir = options.spill_dir;
+  context.options.repeats = 1;  // one observable pass, not a best-of-N
+  context.options.threads_override = options.threads;
+  tpsl::WallTimer timer;
+  auto record = RunScenarioWithIngest(*scenario, context);
+  if (!record.ok()) {
+    TPSL_LOG(Error) << scenario->name << " failed: "
+                    << record.status().ToString();
+    return 1;
+  }
+  std::printf("scenario %s  kind=%s partitioner=%s dataset=%s k=%u "
+              "shift=%d seed=%llu threads=%u  (%.3fs wall)\n",
+              record->scenario.c_str(), ScenarioKindLabel(scenario->kind),
+              record->partitioner.c_str(), record->dataset.c_str(),
+              record->k, record->scale_shift,
+              static_cast<unsigned long long>(record->seed),
+              record->threads, timer.ElapsedSeconds());
+  for (const auto& [name, value] : record->metrics) {
+    std::printf("  %-44s %.17g\n", name.c_str(), value);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -337,6 +409,18 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--check") == 0 && i + 1 < argc) {
       options.mode = Options::Mode::kCheck;
       options.baseline_dir = argv[++i];
+    } else if (ParseFlag(arg, "--run", &value)) {
+      options.mode = Options::Mode::kRun;
+      options.run_scenario = value;
+    } else if (std::strcmp(arg, "--run") == 0 && i + 1 < argc) {
+      options.mode = Options::Mode::kRun;
+      options.run_scenario = argv[++i];
+    } else if (ParseFlag(arg, "--trace", &value)) {
+      options.trace_path = value;
+    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      tpsl::SetMinLogSeverity(tpsl::LogSeverity::kDebug);
     } else if (ParseFlag(arg, "--out", &value)) {
       options.out_dir = value;
     } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
@@ -354,35 +438,59 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "--threads", &value)) {
       if (!tpsl::benchkit::ParseThreadCount(value.c_str(),
                                             &options.threads)) {
-        std::fprintf(stderr, "bad --threads '%s' (want 1..1024)\n",
-                     value.c_str());
+        TPSL_LOG(Error) << "bad --threads '" << value << "' (want 1..1024)";
         return Usage(argv[0]);
       }
     } else if (ParseFlag(arg, "--time-budget", &value)) {
       char* end = nullptr;
       const double parsed = std::strtod(value.c_str(), &end);
       if (end == value.c_str() || *end != '\0' || !(parsed > 0.0)) {
-        std::fprintf(stderr, "bad --time-budget '%s' (want seconds > 0)\n",
-                     value.c_str());
+        TPSL_LOG(Error) << "bad --time-budget '" << value
+                        << "' (want seconds > 0)";
         return Usage(argv[0]);
       }
       options.time_budget_seconds = parsed;
     } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      TPSL_LOG(Error) << "unknown argument '" << arg << "'";
       return Usage(argv[0]);
     }
   }
+  if (!options.trace_path.empty()) {
+    tpsl::obs::SetTracingEnabled(true);
+  }
+  int rc = 0;
   switch (options.mode) {
     case Options::Mode::kList:
-      return ListScenarios();
-    case Options::Mode::kEmit:
-      return Emit(options);
-    case Options::Mode::kCheck:
-      return Check(options);
-    case Options::Mode::kSmoke:
-      return Smoke(options);
-    case Options::Mode::kNone:
+      rc = ListScenarios();
       break;
+    case Options::Mode::kEmit:
+      rc = Emit(options);
+      break;
+    case Options::Mode::kCheck:
+      rc = Check(options);
+      break;
+    case Options::Mode::kSmoke:
+      rc = Smoke(options);
+      break;
+    case Options::Mode::kRun:
+      rc = RunOne(options);
+      break;
+    case Options::Mode::kNone:
+      return Usage(argv[0]);
   }
-  return Usage(argv[0]);
+  if (!options.trace_path.empty()) {
+    tpsl::obs::SetTracingEnabled(false);
+    const tpsl::Status status =
+        tpsl::obs::WriteChromeTrace(options.trace_path);
+    if (!status.ok()) {
+      TPSL_LOG(Error) << "trace export failed: " << status.ToString();
+      return rc != 0 ? rc : 1;
+    }
+    const tpsl::obs::TraceStats stats = tpsl::obs::GetTraceStats();
+    TPSL_LOG(Info) << "wrote " << options.trace_path << " ("
+                   << stats.emitted << " events from " << stats.threads
+                   << " threads, " << stats.dropped
+                   << " dropped by ring wrap) — open in ui.perfetto.dev";
+  }
+  return rc;
 }

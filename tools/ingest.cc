@@ -20,6 +20,10 @@
 //                     assignments back to DIR as one binary edge list
 //                     per partition (the full storage-to-storage
 //                     out-of-core loop); reports bytes written
+//   --trace=FILE      record spans while running (any mode) and export
+//                     Chrome trace-event JSON to FILE on exit (load in
+//                     ui.perfetto.dev or chrome://tracing)
+//   --verbose         emit debug-severity log lines too
 //
 // CI runs --generate (cache-backed via actions/cache keyed on the
 // catalog hash) and --verify before the bench_runner perf gate.
@@ -36,7 +40,9 @@
 #include "graph/binary_edge_list.h"
 #include "ingest/catalog.h"
 #include "ingest/prefetching_edge_stream.h"
+#include "obs/trace.h"
 #include "partition/runner.h"
+#include "util/logging.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -62,13 +68,15 @@ struct Options {
   size_t chunk_edges = 1 << 20;
   uint32_t threads = 0;  // --bench: partition on N workers (0 = scan only)
   std::string spill_dir;  // --bench: spill partitions to disk when set
+  std::string trace_path;  // --trace (empty = tracing off)
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--describe | --generate | --verify | --pin |"
                " --bench) [--catalog=FILE] [--dir=DIR] [--name=NAME ...]"
-               " [--chunk-edges=N] [--threads=N] [--spill=DIR]\n",
+               " [--chunk-edges=N] [--threads=N] [--spill=DIR]"
+               " [--trace=FILE] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -92,8 +100,8 @@ bool SelectEntries(const Catalog& catalog, const Options& options,
   for (const std::string& name : options.names) {
     const CatalogEntry* entry = catalog.Find(name);
     if (entry == nullptr) {
-      std::fprintf(stderr, "unknown dataset '%s' (see --describe)\n",
-                   name.c_str());
+      TPSL_LOG(Error) << "unknown dataset '" << name
+                      << "' (see --describe)";
       return false;
     }
     selected->push_back(*entry);
@@ -136,7 +144,7 @@ int Generate(const Catalog& catalog, const Options& options) {
   for (const CatalogEntry& entry : entries) {
     auto result = EnsureDataset(entry, options.dir, options.chunk_edges);
     if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      TPSL_LOG(Error) << result.status().ToString();
       return 1;
     }
     std::string timing;
@@ -187,7 +195,7 @@ int Pin(Catalog catalog, const Options& options) {
     unpinned.expected_checksum.clear();
     auto result = EnsureDataset(unpinned, options.dir, options.chunk_edges);
     if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      TPSL_LOG(Error) << result.status().ToString();
       return 1;
     }
     entry.expected_edges = result->num_edges;
@@ -198,7 +206,7 @@ int Pin(Catalog catalog, const Options& options) {
   }
   const Status status = SaveCatalog(catalog, options.catalog_path);
   if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    TPSL_LOG(Error) << status.ToString();
     return 1;
   }
   std::printf("wrote %s\n", options.catalog_path.c_str());
@@ -215,7 +223,7 @@ int Bench(const Catalog& catalog, const Options& options) {
   for (const CatalogEntry& entry : entries) {
     auto ensured = EnsureDataset(entry, options.dir, options.chunk_edges);
     if (!ensured.ok()) {
-      std::fprintf(stderr, "%s\n", ensured.status().ToString().c_str());
+      TPSL_LOG(Error) << ensured.status().ToString();
       return 1;
     }
     auto time_scan = [&](tpsl::EdgeStream& stream,
@@ -238,25 +246,25 @@ int Bench(const Catalog& catalog, const Options& options) {
     {
       auto plain = tpsl::BinaryFileEdgeStream::Open(ensured->path);
       if (!plain.ok()) {
-        std::fprintf(stderr, "%s\n", plain.status().ToString().c_str());
+        TPSL_LOG(Error) << plain.status().ToString();
         return 1;
       }
       const Status status = time_scan(**plain, &plain_seconds);
       if (!status.ok()) {
-        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        TPSL_LOG(Error) << status.ToString();
         return 1;
       }
     }
     {
       auto file = tpsl::BinaryFileEdgeStream::Open(ensured->path);
       if (!file.ok()) {
-        std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+        TPSL_LOG(Error) << file.status().ToString();
         return 1;
       }
       PrefetchingEdgeStream prefetched(std::move(*file));
       const Status status = time_scan(prefetched, &prefetch_seconds);
       if (!status.ok()) {
-        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        TPSL_LOG(Error) << status.ToString();
         return 1;
       }
     }
@@ -273,7 +281,7 @@ int Bench(const Catalog& catalog, const Options& options) {
       // 2psl_par disk scenarios gate, on demand for any dataset.
       auto file = tpsl::BinaryFileEdgeStream::Open(ensured->path);
       if (!file.ok()) {
-        std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+        TPSL_LOG(Error) << file.status().ToString();
         return 1;
       }
       PrefetchingEdgeStream prefetched(std::move(*file));
@@ -288,7 +296,7 @@ int Bench(const Catalog& catalog, const Options& options) {
       auto run = tpsl::RunPartitioner(partitioner, prefetched, config,
                                       run_options);
       if (!run.ok()) {
-        std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+        TPSL_LOG(Error) << run.status().ToString();
         return 1;
       }
       std::printf("%-14s 2PS-L(par) k=%u threads=%u: %.3fs, rf %.3f\n",
@@ -332,22 +340,27 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "--threads", &value)) {
       if (!tpsl::benchkit::ParseThreadCount(value.c_str(),
                                             &options.threads)) {
-        std::fprintf(stderr, "bad --threads '%s' (want 1..1024)\n",
-                     value.c_str());
+        TPSL_LOG(Error) << "bad --threads '" << value << "' (want 1..1024)";
         return Usage(argv[0]);
       }
     } else if (ParseFlag(arg, "--spill", &value)) {
       options.spill_dir = value;
+    } else if (ParseFlag(arg, "--trace", &value)) {
+      options.trace_path = value;
+    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      tpsl::SetMinLogSeverity(tpsl::LogSeverity::kDebug);
     } else if (ParseFlag(arg, "--chunk-edges", &value)) {
       char* end = nullptr;
       const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
       if (end == value.c_str() || *end != '\0' || parsed == 0) {
-        std::fprintf(stderr, "bad --chunk-edges '%s'\n", value.c_str());
+        TPSL_LOG(Error) << "bad --chunk-edges '" << value << "'";
         return Usage(argv[0]);
       }
       options.chunk_edges = static_cast<size_t>(parsed);
     } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      TPSL_LOG(Error) << "unknown argument '" << arg << "'";
       return Usage(argv[0]);
     }
   }
@@ -356,22 +369,44 @@ int main(int argc, char** argv) {
   }
   auto catalog = LoadCatalog(options.catalog_path);
   if (!catalog.ok()) {
-    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    TPSL_LOG(Error) << catalog.status().ToString();
     return 1;
   }
+  if (!options.trace_path.empty()) {
+    tpsl::obs::SetTracingEnabled(true);
+  }
+  int rc = 0;
   switch (options.mode) {
     case Options::Mode::kDescribe:
-      return Describe(*catalog, options);
-    case Options::Mode::kGenerate:
-      return Generate(*catalog, options);
-    case Options::Mode::kVerify:
-      return Verify(*catalog, options);
-    case Options::Mode::kPin:
-      return Pin(std::move(*catalog), options);
-    case Options::Mode::kBench:
-      return Bench(*catalog, options);
-    case Options::Mode::kNone:
+      rc = Describe(*catalog, options);
       break;
+    case Options::Mode::kGenerate:
+      rc = Generate(*catalog, options);
+      break;
+    case Options::Mode::kVerify:
+      rc = Verify(*catalog, options);
+      break;
+    case Options::Mode::kPin:
+      rc = Pin(std::move(*catalog), options);
+      break;
+    case Options::Mode::kBench:
+      rc = Bench(*catalog, options);
+      break;
+    case Options::Mode::kNone:
+      return Usage(argv[0]);
   }
-  return Usage(argv[0]);
+  if (!options.trace_path.empty()) {
+    tpsl::obs::SetTracingEnabled(false);
+    const Status status = tpsl::obs::WriteChromeTrace(options.trace_path);
+    if (!status.ok()) {
+      TPSL_LOG(Error) << "trace export failed: " << status.ToString();
+      return rc != 0 ? rc : 1;
+    }
+    const tpsl::obs::TraceStats stats = tpsl::obs::GetTraceStats();
+    TPSL_LOG(Info) << "wrote " << options.trace_path << " ("
+                   << stats.emitted << " events from " << stats.threads
+                   << " threads, " << stats.dropped
+                   << " dropped by ring wrap) — open in ui.perfetto.dev";
+  }
+  return rc;
 }
