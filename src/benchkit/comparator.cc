@@ -154,6 +154,24 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric) {
     return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
             .informational = true};
   }
+  if (metric == "lookup_qps" || metric == "mutation_qps") {
+    // Serving throughput gates (serve scenarios): one-sided and
+    // generous for the same reason as the hot-loop gate — absolute QPS
+    // is hardware-dependent, and the gate exists to catch a reader hot
+    // path that grew a lock or an allocation (a >4x collapse), not CI
+    // jitter. Faster runs pass as IMPROVED.
+    return {.rel = 0.75, .abs_floor = 0.0, .upper_only = true,
+            .informational = false, .higher_is_better = true};
+  }
+  if (metric == "lookup_p50_seconds" || metric == "lookup_p99_seconds") {
+    // Upper-only latency gates from the log2-bucketed obs histogram:
+    // bucket resolution is a factor of two, so the band admits a
+    // single-bucket quantization jump (+100%) and still fails a >=8x
+    // percentile blowup. The absolute floor forgives sub-50us noise
+    // (scheduler wakeups land entire lookups in the next bucket).
+    return {.rel = 3.0, .abs_floor = 5e-5, .upper_only = true,
+            .informational = false};
+  }
   if (metric == "replication_factor" || metric == "measured_alpha") {
     // Deterministic given (code, seed); 2% absorbs cross-platform
     // floating-point ordering differences, nothing more.
@@ -220,6 +238,19 @@ std::vector<std::string> GatedMetricsForScenario(const Scenario& scenario) {
       }
       break;
     }
+    case ScenarioKind::kServe:
+      // Placement-side metrics are deterministic (single writer,
+      // deterministic re-bootstrap adoption) and sit under the default
+      // two-sided band; QPS and latency carry the serve-specific
+      // one-sided tolerances above.
+      candidates = {"seconds",          "num_edges",
+                    "live_edges",       "replication_factor",
+                    "measured_alpha",   "state_bytes",
+                    "lookup_qps",       "mutation_qps",
+                    "lookup_p50_seconds", "lookup_p99_seconds",
+                    "epochs_published", "rebootstraps",
+                    "lookups",          "mutations"};
+      break;
   }
   std::vector<std::string> gated;
   for (const std::string& metric : candidates) {

@@ -1,5 +1,9 @@
 #include "benchkit/scenario.h"
 
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
 namespace tpsl {
 namespace benchkit {
 
@@ -87,6 +91,17 @@ const std::vector<Scenario>& PinnedScenarios() {
       {"micro_obs",
        "observability span/counter/histogram overhead micro-benchmarks",
        "micro", "synthetic", 32, 0, 42, 1, ScenarioKind::kMicroObs},
+      // Serving scenarios (src/serve/): the repo measured as a service.
+      // `threads` is the reader count; one writer plays a 20% mutation
+      // tail (1-in-8 removals) with 256-edge epoch publishes and a
+      // deterministic re-bootstrap (threshold 0.1, adopted 4 publishes
+      // after the fork), so every placement-side metric is exact while
+      // lookup QPS and p50/p99 latency gate the read path.
+      {"serve_ok_k32_r1",
+       "PartitionService traffic, 1 reader (latency anchor)",
+       "PartitionService", "OK", 32, 2, 42, 1, ScenarioKind::kServe},
+      {"serve_ok_k32_r4", "PartitionService traffic, 4 readers",
+       "PartitionService", "OK", 32, 2, 42, 4, ScenarioKind::kServe},
   };
   return *scenarios;
 }
@@ -103,6 +118,8 @@ const char* ScenarioKindLabel(ScenarioKind kind) {
       return "micro";
     case ScenarioKind::kMicroObs:
       return "micro";
+    case ScenarioKind::kServe:
+      return "serve";
   }
   return "?";
 }
@@ -114,6 +131,66 @@ const Scenario* FindScenario(const std::string& name) {
     }
   }
   return nullptr;
+}
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Classic two-row Levenshtein distance.
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> curr(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) {
+    prev[j] = j;
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, subst});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::vector<std::string> SuggestScenarioNames(const std::string& name,
+                                              size_t max_suggestions) {
+  const std::string needle = Lower(name);
+  // Anything beyond ~a third of the name rewritten is noise, but always
+  // allow a couple of typos for short names.
+  const size_t cutoff = std::max<size_t>(3, needle.size() / 3);
+  std::vector<std::pair<size_t, std::string>> ranked;
+  for (const Scenario& scenario : PinnedScenarios()) {
+    const std::string candidate = Lower(scenario.name);
+    size_t distance = EditDistance(needle, candidate);
+    const bool substring =
+        !needle.empty() && candidate.find(needle) != std::string::npos;
+    if (substring) {
+      distance = 0;  // a prefix/substring hit is always worth showing
+    } else if (distance > cutoff) {
+      continue;
+    }
+    ranked.emplace_back(distance, scenario.name);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::string> suggestions;
+  for (const auto& [distance, candidate] : ranked) {
+    if (suggestions.size() >= max_suggestions) {
+      break;
+    }
+    suggestions.push_back(candidate);
+  }
+  return suggestions;
 }
 
 }  // namespace benchkit

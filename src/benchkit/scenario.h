@@ -33,6 +33,12 @@ enum class ScenarioKind {
   /// instrumentation that starts taxing the numbers it reports. See
   /// benchkit/obs_kernels.h.
   kMicroObs,
+  /// Serving traffic: bootstrap a PartitionService on the dataset, then
+  /// drive `threads` reader threads (sustained lookups, p50/p99 latency
+  /// from the obs histogram) against one writer playing a live
+  /// add/remove stream with epoch publishes and a deterministic
+  /// re-bootstrap. See serve/serve_scenario.h.
+  kServe,
 };
 
 /// One pinned benchmark configuration: a named, seeded synthetic-graph
@@ -81,6 +87,14 @@ const std::vector<Scenario>& PinnedScenarios();
 
 /// Looks up a pinned scenario by name; nullptr when unknown.
 const Scenario* FindScenario(const std::string& name);
+
+/// Pinned scenario names closest to a (misspelled) `name`, best first —
+/// the "did you mean" list bench_runner prints before exiting non-zero
+/// on an unknown scenario. Case-insensitive edit distance; names that
+/// contain `name` as a substring rank first. Returns at most
+/// `max_suggestions`, and never anything hopelessly far away.
+std::vector<std::string> SuggestScenarioNames(const std::string& name,
+                                              size_t max_suggestions = 3);
 
 }  // namespace benchkit
 }  // namespace tpsl

@@ -52,6 +52,7 @@ Status IncrementalPartitioner::Bootstrap(EdgeStream& base_graph,
     return Status::Internal("stream size changed between passes");
   }
   added_since_bootstrap_ = 0;
+  removed_since_bootstrap_ = 0;
   return Status::OK();
 }
 
@@ -112,6 +113,14 @@ StatusOr<PartitionId> IncrementalPartitioner::AddEdge(const Edge& edge) {
   if (!bootstrapped_) {
     return Status::FailedPrecondition("AddEdge() before Bootstrap()");
   }
+  // Validate before touching any state: a rejected edge must leave the
+  // partitioner exactly as it was (callers retry or drop the edge).
+  if (edge.first == edge.second) {
+    return Status::InvalidArgument("self-loop edges are not placeable");
+  }
+  if (edge.first == kInvalidVertex || edge.second == kInvalidVertex) {
+    return Status::InvalidArgument("edge endpoint is the invalid-vertex sentinel");
+  }
   ++num_edges_;
   ++added_since_bootstrap_;
   EnsureVertex(std::max(edge.first, edge.second));
@@ -160,6 +169,7 @@ Status IncrementalPartitioner::RemoveEdge(const Edge& edge,
   }
   --loads_[partition];
   --num_edges_;
+  ++removed_since_bootstrap_;
   for (const VertexId v : {edge.first, edge.second}) {
     --degrees_[v];
     if (cluster_volumes_[vertex_cluster_[v]] > 0) {

@@ -62,12 +62,18 @@ class IncrementalPartitioner {
   /// Current number of live edges (base + added - removed).
   uint64_t num_edges() const { return num_edges_; }
 
-  /// Fraction of live edges that arrived after Bootstrap(); callers
+  /// Drift since Bootstrap() as a fraction of the live edge count.
+  /// Both additions and removals count as drift: a removal leaves the
+  /// clustering, schedule, and (lazily shrunk) replication bits stale
+  /// just like an addition does, so heavy churn with a near-constant
+  /// edge count still pushes this toward (and past) 1.0. Callers
   /// typically re-bootstrap above ~0.5.
   double StalenessRatio() const {
-    return num_edges_ == 0
-               ? 0.0
-               : static_cast<double>(added_since_bootstrap_) / num_edges_;
+    const uint64_t drift = added_since_bootstrap_ + removed_since_bootstrap_;
+    if (num_edges_ == 0) {
+      return drift == 0 ? 0.0 : 1.0;
+    }
+    return static_cast<double>(drift) / static_cast<double>(num_edges_);
   }
 
   /// Live replication factor from the maintained table.
@@ -76,6 +82,23 @@ class IncrementalPartitioner {
   }
 
   const std::vector<uint64_t>& loads() const { return loads_; }
+
+  bool bootstrapped() const { return bootstrapped_; }
+  const PartitionConfig& config() const { return config_; }
+
+  /// Maintained replication table; null before Bootstrap(). Rows are an
+  /// upper bound after removals (bits are shrunk lazily).
+  const ReplicationTable* replicas() const { return replicas_.get(); }
+
+  /// Heap footprint of the retained incremental state.
+  uint64_t StateBytes() const {
+    return degrees_.capacity() * sizeof(uint32_t) +
+           vertex_cluster_.capacity() * sizeof(ClusterId) +
+           cluster_volumes_.capacity() * sizeof(uint64_t) +
+           cluster_partition_.capacity() * sizeof(PartitionId) +
+           loads_.capacity() * sizeof(uint64_t) +
+           (replicas_ == nullptr ? 0 : replicas_->HeapBytes());
+  }
 
  private:
   /// Ensures vertex state arrays cover `v`, growing them for vertices
@@ -102,6 +125,7 @@ class IncrementalPartitioner {
   bool bootstrapped_ = false;
   uint64_t num_edges_ = 0;
   uint64_t added_since_bootstrap_ = 0;
+  uint64_t removed_since_bootstrap_ = 0;
 
   std::vector<uint32_t> degrees_;
   std::vector<ClusterId> vertex_cluster_;

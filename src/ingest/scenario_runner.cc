@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "ingest/prefetching_edge_stream.h"
 #include "partition/runner.h"
+#include "serve/serve_scenario.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -251,6 +252,10 @@ StatusOr<BenchRecord> RunScenarioWithIngest(const Scenario& scenario,
       return benchkit::RunMicroKernels(scenario, context.options);
     case ScenarioKind::kMicroObs:
       return benchkit::RunObsKernels(scenario, context.options);
+    case ScenarioKind::kServe:
+      // Serving traffic over the in-memory dataset loader (serve
+      // scenarios pin Table III codes, not catalog recipes).
+      return serve::RunServeScenario(scenario, context.options);
   }
   return Status::Internal("unhandled scenario kind");
 }

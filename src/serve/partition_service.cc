@@ -1,0 +1,466 @@
+#include "serve/partition_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/in_memory_edge_stream.h"
+#include "partition/assignment_sink.h"
+#include "util/timer.h"
+
+namespace tpsl {
+namespace serve {
+
+/// Records every bootstrap placement into a ledger (edge -> partition
+/// stack, LIFO so duplicate-edge removal is deterministic) and, when
+/// given one, an ordered edge log.
+class PartitionService::LedgerSink : public AssignmentSink {
+ public:
+  LedgerSink(std::unordered_map<Edge, std::vector<PartitionId>>* placements,
+             std::vector<Edge>* edge_log)
+      : placements_(placements), edge_log_(edge_log) {}
+
+  void Assign(const Edge& edge, PartitionId partition) override {
+    (*placements_)[edge].push_back(partition);
+    if (edge_log_ != nullptr) {
+      edge_log_->push_back(edge);
+    }
+  }
+
+ private:
+  std::unordered_map<Edge, std::vector<PartitionId>>* placements_;
+  std::vector<Edge>* edge_log_;
+};
+
+PartitionService::PartitionService(const PartitionConfig& config,
+                                   Options options)
+    : config_(config), options_(options) {
+  if (options_.max_readers == 0) {
+    options_.max_readers = 1;
+  }
+  if (options_.publish_batch_edges == 0) {
+    options_.publish_batch_edges = 1;
+  }
+  partitioner_ =
+      std::make_unique<IncrementalPartitioner>(config_, options_.partitioner);
+  slots_ = std::make_unique<ReaderSlot[]>(options_.max_readers);
+  slot_used_.assign(options_.max_readers, false);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  lookups_counter_ = registry.GetCounter("serve.lookups");
+  mutations_counter_ = registry.GetCounter("serve.mutations");
+  publishes_counter_ = registry.GetCounter("serve.publishes");
+  rebootstraps_counter_ = registry.GetCounter("serve.rebootstraps");
+  mutation_hist_ = registry.GetHistogram("serve.mutation_seconds");
+  publish_hist_ = registry.GetHistogram("serve.publish_seconds");
+  rebootstrap_hist_ = registry.GetHistogram("serve.rebootstrap_seconds");
+  epoch_gauge_ = registry.GetGauge("serve.epoch");
+  epoch_lag_gauge_ = registry.GetGauge("serve.epoch_lag");
+  snapshot_bytes_gauge_ = registry.GetGauge("serve.snapshot_bytes");
+  retired_snapshots_gauge_ = registry.GetGauge("serve.retired_snapshots");
+  staleness_gauge_ = registry.GetGauge("serve.staleness_ratio");
+  live_edges_gauge_ = registry.GetGauge("serve.live_edges");
+}
+
+PartitionService::~PartitionService() {
+  // Drain an in-flight re-bootstrap: the job owns copies of everything
+  // it touches, but letting it finish keeps teardown ordered and the
+  // pool free of work referencing freed obs handles. Never adopt here.
+  std::shared_ptr<RebootstrapJob> job;
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    job = job_;
+  }
+  if (job != nullptr) {
+    std::unique_lock<std::mutex> jl(job->mutex);
+    job->done_cv.wait(jl, [&] { return job->done; });
+  }
+}
+
+Status PartitionService::Bootstrap(EdgeStream& base_graph) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (!snapshots_.empty()) {
+    return Status::FailedPrecondition("Bootstrap() called twice");
+  }
+  LedgerSink sink(&placements_, &edge_log_);
+  TPSL_RETURN_IF_ERROR(partitioner_->Bootstrap(base_graph, sink));
+  ledger_entries_ = edge_log_.size();
+  InstallTableLocked(BuildServingTable(*partitioner_, 1));
+  ++epochs_published_;
+  publishes_counter_->Increment();
+  return Status::OK();
+}
+
+StatusOr<PartitionId> PartitionService::AddEdge(const Edge& edge) {
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (snapshots_.empty()) {
+    return Status::FailedPrecondition("AddEdge() before Bootstrap()");
+  }
+  StatusOr<PartitionId> placed = partitioner_->AddEdge(edge);
+  if (!placed.ok()) {
+    return placed;
+  }
+  placements_[edge].push_back(*placed);
+  ++ledger_entries_;
+  edge_log_.push_back(edge);
+  RecordMutationLocked(edge, /*add=*/true);
+  dirty_.push_back(edge.first);
+  dirty_.push_back(edge.second);
+  TPSL_RETURN_IF_ERROR(MaybePublishLocked());
+  mutation_hist_->RecordSeconds(timer.ElapsedSeconds());
+  return placed;
+}
+
+Status PartitionService::RemoveEdge(const Edge& edge) {
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (snapshots_.empty()) {
+    return Status::FailedPrecondition("RemoveEdge() before Bootstrap()");
+  }
+  auto it = placements_.find(edge);
+  if (it == placements_.end() || it->second.empty()) {
+    return Status::NotFound("edge has no live placement");
+  }
+  const PartitionId partition = it->second.back();
+  TPSL_RETURN_IF_ERROR(partitioner_->RemoveEdge(edge, partition));
+  it->second.pop_back();
+  --ledger_entries_;
+  if (it->second.empty()) {
+    placements_.erase(it);
+  }
+  ++removed_[edge];
+  RecordMutationLocked(edge, /*add=*/false);
+  // Replica bits shrink lazily, so no serving rows are dirtied — the
+  // next publish refreshes loads and the live edge count.
+  TPSL_RETURN_IF_ERROR(MaybePublishLocked());
+  mutation_hist_->RecordSeconds(timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+StatusOr<PartitionId> PartitionService::LookupPlacement(
+    const Edge& edge) const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  auto it = placements_.find(edge);
+  if (it == placements_.end() || it->second.empty()) {
+    return Status::NotFound("edge has no live placement");
+  }
+  return it->second.back();
+}
+
+Status PartitionService::Flush() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (snapshots_.empty()) {
+    return Status::FailedPrecondition("Flush() before Bootstrap()");
+  }
+  if (job_ != nullptr) {
+    return AdoptRebootstrapLocked();
+  }
+  if (pending_mutations_ > 0 || !dirty_.empty()) {
+    return PublishLocked();
+  }
+  return Status::OK();
+}
+
+void PartitionService::RecordMutationLocked(const Edge& edge, bool add) {
+  ++mutations_;
+  ++pending_mutations_;
+  mutations_counter_->Increment();
+  if (job_ != nullptr) {
+    replay_log_.push_back(ReplayOp{add, edge});
+  }
+}
+
+Status PartitionService::MaybePublishLocked() {
+  if (pending_mutations_ >= options_.publish_batch_edges) {
+    return PublishLocked();
+  }
+  return Status::OK();
+}
+
+Status PartitionService::PublishLocked() {
+  WallTimer timer;
+  std::sort(dirty_.begin(), dirty_.end());
+  dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+  InstallTableLocked(PatchServingTable(snapshots_.back(), *partitioner_,
+                                       dirty_,
+                                       epoch_.load(std::memory_order_relaxed) +
+                                           1));
+  dirty_.clear();
+  pending_mutations_ = 0;
+  ++epochs_published_;
+  publishes_counter_->Increment();
+  publish_hist_->RecordSeconds(timer.ElapsedSeconds());
+
+  if (job_ != nullptr) {
+    ++publishes_since_fork_;
+    bool adopt_now;
+    if (options_.adopt_after_publishes == 0) {
+      std::lock_guard<std::mutex> jl(job_->mutex);
+      adopt_now = job_->done;
+    } else {
+      adopt_now = publishes_since_fork_ >= options_.adopt_after_publishes;
+    }
+    if (adopt_now) {
+      return AdoptRebootstrapLocked();
+    }
+  } else {
+    MaybeForkRebootstrapLocked();
+  }
+  return Status::OK();
+}
+
+void PartitionService::InstallTableLocked(
+    std::shared_ptr<const ServingTable> table) {
+  const ServingTable* raw = table.get();
+  snapshots_.push_back(std::move(table));
+  // Publish order matters: the table pointer must be visible before the
+  // epoch that names it, so a reader that pins epoch e always loads a
+  // table with epoch >= e (all four accesses are seq_cst; see Pin()).
+  table_.store(raw, std::memory_order_seq_cst);
+  epoch_.store(raw->epoch(), std::memory_order_seq_cst);
+  ReclaimLocked();
+  epoch_gauge_->Set(static_cast<double>(raw->epoch()));
+  snapshot_bytes_gauge_->Set(static_cast<double>(raw->HeapBytes()));
+  live_edges_gauge_->Set(static_cast<double>(raw->live_edges()));
+  staleness_gauge_->Set(partitioner_->StalenessRatio());
+}
+
+void PartitionService::ReclaimLocked() {
+  const uint64_t current = epoch_.load(std::memory_order_relaxed);
+  uint64_t min_pinned = kIdleSlot;
+  for (uint32_t i = 0; i < options_.max_readers; ++i) {
+    const uint64_t pinned = slots_[i].pinned.load(std::memory_order_seq_cst);
+    min_pinned = std::min(min_pinned, pinned);
+  }
+  const uint64_t bound = std::min(min_pinned, current);
+  // snapshots_ is epoch-ordered; drop every snapshot no pinned reader
+  // can still reach. The current table (epoch == current) always stays.
+  size_t keep_from = 0;
+  while (keep_from < snapshots_.size() &&
+         snapshots_[keep_from]->epoch() < bound) {
+    ++keep_from;
+  }
+  if (keep_from > 0) {
+    snapshots_.erase(snapshots_.begin(),
+                     snapshots_.begin() + static_cast<ptrdiff_t>(keep_from));
+  }
+  epoch_lag_gauge_->Set(
+      min_pinned == kIdleSlot || min_pinned > current
+          ? 0.0
+          : static_cast<double>(current - min_pinned));
+  retired_snapshots_gauge_->Set(static_cast<double>(snapshots_.size() - 1));
+}
+
+void PartitionService::MaybeForkRebootstrapLocked() {
+  if (options_.rebootstrap_threshold == kNeverRebootstrap ||
+      partitioner_->StalenessRatio() <= options_.rebootstrap_threshold) {
+    return;
+  }
+  auto job = std::make_shared<RebootstrapJob>();
+  // Compact the live edge set in placement order: skip each logged edge
+  // as many times as it was removed. Deterministic, and the compacted
+  // log becomes the adopted partitioner's new edge log.
+  std::unordered_map<Edge, uint32_t> remaining = removed_;
+  job->base_edges.reserve(partitioner_->num_edges());
+  for (const Edge& e : edge_log_) {
+    auto it = remaining.find(e);
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    job->base_edges.push_back(e);
+  }
+  publishes_since_fork_ = 0;
+  replay_log_.clear();
+  job_ = job;
+  job_active_.store(true, std::memory_order_release);
+
+  exec::ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &exec::ThreadPool::Global();
+  const PartitionConfig config = config_;
+  const IncrementalPartitioner::Options popts = options_.partitioner;
+  pool->Submit([job, config, popts] {
+    WallTimer timer;
+    auto partitioner = std::make_unique<IncrementalPartitioner>(config, popts);
+    InMemoryEdgeStream stream(job->base_edges);  // copy: the job keeps the log
+    LedgerSink sink(&job->placements, /*edge_log=*/nullptr);
+    Status status = partitioner->Bootstrap(stream, sink);
+    std::lock_guard<std::mutex> jl(job->mutex);
+    job->status = status;
+    job->partitioner = std::move(partitioner);
+    job->fork_to_done_seconds = timer.ElapsedSeconds();
+    job->done = true;
+    job->done_cv.notify_all();
+  });
+}
+
+Status PartitionService::AdoptRebootstrapLocked() {
+  std::shared_ptr<RebootstrapJob> job = job_;
+  double fork_to_done_seconds;
+  Status status;
+  {
+    std::unique_lock<std::mutex> jl(job->mutex);
+    job->done_cv.wait(jl, [&] { return job->done; });
+    status = job->status;
+    fork_to_done_seconds = job->fork_to_done_seconds;
+  }
+  if (!status.ok()) {
+    // Keep serving the old state; the drift that triggered the fork is
+    // still there, so a later publish will retry.
+    job_.reset();
+    replay_log_.clear();
+    job_active_.store(false, std::memory_order_release);
+    return status;
+  }
+
+  std::unique_ptr<IncrementalPartitioner> partitioner =
+      std::move(job->partitioner);
+  std::unordered_map<Edge, std::vector<PartitionId>> placements =
+      std::move(job->placements);
+  std::vector<Edge> edge_log = std::move(job->base_edges);
+  std::unordered_map<Edge, uint32_t> removed;
+  uint64_t ledger_entries = edge_log.size();
+
+  // Replay every mutation made while the bootstrap ran.
+  for (const ReplayOp& op : replay_log_) {
+    if (op.add) {
+      StatusOr<PartitionId> placed = partitioner->AddEdge(op.edge);
+      if (!placed.ok()) {
+        return Status::Internal("re-bootstrap replay rejected an add: " +
+                                placed.status().message());
+      }
+      placements[op.edge].push_back(*placed);
+      ++ledger_entries;
+      edge_log.push_back(op.edge);
+    } else {
+      auto it = placements.find(op.edge);
+      if (it == placements.end() || it->second.empty()) {
+        return Status::Internal("re-bootstrap replay lost a removal target");
+      }
+      const PartitionId partition = it->second.back();
+      TPSL_RETURN_IF_ERROR(partitioner->RemoveEdge(op.edge, partition));
+      it->second.pop_back();
+      --ledger_entries;
+      if (it->second.empty()) {
+        placements.erase(it);
+      }
+      ++removed[op.edge];
+    }
+  }
+
+  partitioner_ = std::move(partitioner);
+  placements_ = std::move(placements);
+  edge_log_ = std::move(edge_log);
+  removed_ = std::move(removed);
+  ledger_entries_ = ledger_entries;
+  dirty_.clear();
+  pending_mutations_ = 0;
+  replay_log_.clear();
+  job_.reset();
+  job_active_.store(false, std::memory_order_release);
+  rebootstraps_done_.fetch_add(1, std::memory_order_release);
+  rebootstraps_counter_->Increment();
+  rebootstrap_hist_->RecordSeconds(fork_to_done_seconds);
+
+  // The adopted state replaces every row, so publish a full rebuild.
+  InstallTableLocked(BuildServingTable(
+      *partitioner_, epoch_.load(std::memory_order_relaxed) + 1));
+  ++epochs_published_;
+  publishes_counter_->Increment();
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<PartitionService::Reader>>
+PartitionService::CreateReader() {
+  if (table_.load(std::memory_order_acquire) == nullptr) {
+    return Status::FailedPrecondition("CreateReader() before Bootstrap()");
+  }
+  std::lock_guard<std::mutex> lock(reader_mutex_);
+  for (uint32_t i = 0; i < options_.max_readers; ++i) {
+    if (!slot_used_[i]) {
+      slot_used_[i] = true;
+      slots_[i].pinned.store(kIdleSlot, std::memory_order_release);
+      return std::unique_ptr<Reader>(new Reader(this, i));
+    }
+  }
+  return Status::OutOfRange("all reader slots in use (max_readers=" +
+                            std::to_string(options_.max_readers) + ")");
+}
+
+PartitionService::Reader::~Reader() {
+  std::lock_guard<std::mutex> lock(service_->reader_mutex_);
+  service_->slots_[slot_].pinned.store(kIdleSlot, std::memory_order_release);
+  service_->slot_used_[slot_] = false;
+}
+
+const ServingTable* PartitionService::Reader::Pin() const {
+  ReaderSlot& slot = service_->slots_[slot_];
+  // seq_cst protocol: (1) read the epoch, (2) publish it in our slot,
+  // (3) load the table. In the seq_cst total order our table load
+  // follows the store of whichever table the epoch read named, so the
+  // table we get is never older than the epoch we pinned; and the
+  // writer's reclaim scan either sees our pin (and keeps the table) or
+  // precedes it (in which case we load the even-newer current table).
+  slot.pinned.store(service_->epoch_.load(std::memory_order_seq_cst),
+                    std::memory_order_seq_cst);
+  return service_->table_.load(std::memory_order_seq_cst);
+}
+
+void PartitionService::Reader::Unpin() const {
+  service_->slots_[slot_].pinned.store(kIdleSlot, std::memory_order_release);
+}
+
+VertexLookup PartitionService::Reader::LookupVertex(VertexId v) const {
+  const ServingTable* table = Pin();
+  const VertexLookup result = table->LookupVertex(v);
+  Unpin();
+  service_->lookups_counter_->Increment();
+  return result;
+}
+
+PartitionId PartitionService::Reader::RouteEdge(const Edge& e) const {
+  const ServingTable* table = Pin();
+  const PartitionId result = table->RouteEdge(e);
+  Unpin();
+  service_->lookups_counter_->Increment();
+  return result;
+}
+
+uint64_t PartitionService::WriterStateBytesLocked() const {
+  // Ledger cost is estimated from entry counts (exact capacities would
+  // cost an O(|E|) walk per Stats call): one map node + one partition
+  // slot per live placement.
+  constexpr uint64_t kNodeOverhead =
+      sizeof(Edge) + sizeof(std::vector<PartitionId>) + 2 * sizeof(void*);
+  return partitioner_->StateBytes() + edge_log_.capacity() * sizeof(Edge) +
+         ledger_entries_ * (kNodeOverhead + sizeof(PartitionId)) +
+         removed_.size() * (sizeof(Edge) + sizeof(uint32_t) +
+                            2 * sizeof(void*)) +
+         (snapshots_.empty() ? 0 : snapshots_.back()->HeapBytes());
+}
+
+PartitionService::Stats PartitionService::GetStats() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  Stats stats;
+  stats.epoch = epoch_.load(std::memory_order_relaxed);
+  stats.epochs_published = epochs_published_;
+  stats.rebootstraps = rebootstraps_done_.load(std::memory_order_relaxed);
+  stats.mutations = mutations_;
+  stats.live_edges = partitioner_->num_edges();
+  stats.live_snapshots = snapshots_.size();
+  stats.staleness_ratio = partitioner_->StalenessRatio();
+  stats.replication_factor = partitioner_->CurrentReplicationFactor();
+  for (const uint64_t load : partitioner_->loads()) {
+    stats.max_load = std::max(stats.max_load, load);
+  }
+  stats.state_bytes = WriterStateBytesLocked();
+  return stats;
+}
+
+std::shared_ptr<const ServingTable> PartitionService::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return snapshots_.empty() ? nullptr : snapshots_.back();
+}
+
+}  // namespace serve
+}  // namespace tpsl

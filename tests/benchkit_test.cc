@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <set>
@@ -472,6 +473,34 @@ TEST(RunnerTest, EndToEndScenarioPopulatesFiniteMetrics) {
   for (const char* name :
        {"replication_factor", "measured_alpha", "num_edges"}) {
     EXPECT_EQ(*record->FindMetric(name), *again->FindMetric(name)) << name;
+  }
+}
+
+TEST(ScenarioRegistryTest, SuggestsClosestNamesForTypos) {
+  // One edit away from a pinned name resolves to it first.
+  const auto close = SuggestScenarioNames("serve_ok_k32_r44");
+  ASSERT_FALSE(close.empty());
+  EXPECT_EQ(close.front(), "serve_ok_k32_r4");
+  // A substring matches even when the full name is many edits away.
+  const auto substring = SuggestScenarioNames("serve_ok");
+  ASSERT_FALSE(substring.empty());
+  EXPECT_TRUE(substring.front().starts_with("serve_ok_k32"));
+  // Garbage nowhere near the registry suggests nothing.
+  EXPECT_TRUE(SuggestScenarioNames("xqzzjvwpf").empty());
+  EXPECT_LE(SuggestScenarioNames("2psl").size(), 3u);
+}
+
+TEST(ScenarioRegistryTest, ServeScenariosGateServingMetrics) {
+  const Scenario* scenario = FindScenario("serve_ok_k32_r4");
+  ASSERT_NE(scenario, nullptr);
+  EXPECT_EQ(scenario->kind, ScenarioKind::kServe);
+  const std::vector<std::string> gated = GatedMetricsForScenario(*scenario);
+  for (const char* required :
+       {"lookup_qps", "mutation_qps", "lookup_p50_seconds",
+        "lookup_p99_seconds", "live_edges", "replication_factor",
+        "epochs_published", "rebootstraps"}) {
+    EXPECT_NE(std::find(gated.begin(), gated.end(), required), gated.end())
+        << required;
   }
 }
 

@@ -108,6 +108,23 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   return true;
 }
 
+/// Shared unknown-scenario diagnostic for --scenario and --run: the
+/// error plus the registry's closest names, so a typo'd CI config tells
+/// the reader what it was probably meant to say.
+void ReportUnknownScenario(const std::string& name) {
+  std::string hint;
+  for (const std::string& suggestion :
+       tpsl::benchkit::SuggestScenarioNames(name)) {
+    hint += hint.empty() ? " — did you mean " : ", ";
+    hint += "'" + suggestion + "'";
+  }
+  if (!hint.empty()) {
+    hint += "?";
+  }
+  TPSL_LOG(Error) << "unknown scenario '" << name << "'" << hint
+                  << " (see --list)";
+}
+
 /// The scenarios selected by --scenario filters (all when none given).
 /// Returns false on an unknown name.
 bool SelectScenarios(const Options& options, std::vector<Scenario>* selected) {
@@ -118,7 +135,7 @@ bool SelectScenarios(const Options& options, std::vector<Scenario>* selected) {
   for (const std::string& name : options.scenarios) {
     const Scenario* scenario = tpsl::benchkit::FindScenario(name);
     if (scenario == nullptr) {
-      TPSL_LOG(Error) << "unknown scenario '" << name << "' (see --list)";
+      ReportUnknownScenario(name);
       return false;
     }
     selected->push_back(*scenario);
@@ -308,6 +325,10 @@ int Smoke(const Options& options) {
   const std::vector<const char*> scan_required = {
       "seconds", "num_edges", "file_bytes", "edges_per_second",
       "peak_rss_bytes"};
+  const std::vector<const char*> serve_required = {
+      "seconds", "num_edges", "live_edges", "replication_factor",
+      "measured_alpha", "state_bytes", "lookup_qps", "mutation_qps",
+      "lookup_p50_seconds", "lookup_p99_seconds", "peak_rss_bytes"};
   std::vector<std::string> micro_required = {"seconds", "num_edges",
                                              "checksum_low32"};
   for (const std::string& kernel : tpsl::benchkit::MicroKernelNames()) {
@@ -338,8 +359,11 @@ int Smoke(const Options& options) {
       }
       continue;
     }
-    const bool is_scan = scenarios[i].kind == ScenarioKind::kIngestScan;
-    for (const char* name : is_scan ? scan_required : partition_required) {
+    const std::vector<const char*>& kind_required =
+        scenarios[i].kind == ScenarioKind::kIngestScan ? scan_required
+        : scenarios[i].kind == ScenarioKind::kServe    ? serve_required
+                                                       : partition_required;
+    for (const char* name : kind_required) {
       const double* value = record.FindMetric(name);
       if (value == nullptr || !std::isfinite(*value)) {
         TPSL_LOG(Error) << "smoke: " << record.scenario << " metric '"
@@ -360,8 +384,7 @@ int RunOne(const Options& options) {
   const Scenario* scenario =
       tpsl::benchkit::FindScenario(options.run_scenario);
   if (scenario == nullptr) {
-    TPSL_LOG(Error) << "unknown scenario '" << options.run_scenario
-                    << "' (see --list)";
+    ReportUnknownScenario(options.run_scenario);
     return 2;
   }
   ScenarioRunContext context;

@@ -1,0 +1,312 @@
+// Standalone driver for the online PartitionService: bootstrap a
+// dataset, then hammer it with reader lookups while a writer thread
+// plays a live add/remove stream (epoch publishes + re-bootstraps).
+//
+//   serve_bench                        default traffic run (OK, 4 readers)
+//   serve_bench --smoke                tiny fixed-shape run that verifies
+//                                      the result invariants (incl. at
+//                                      least one live re-bootstrap) and
+//                                      exits non-zero on violation; the
+//                                      tier-1/tsan entry point
+//
+//   --dataset=CODE        Table III dataset code (default OK)
+//   --shift=N             scale shift applied to the dataset (default 2)
+//   --k=N                 partition count (default 32)
+//   --seed=N              placement + traffic seed (default 42)
+//   --readers=N           reader threads (default 4; 0 = hardware)
+//   --lookups=N           lookups per reader (default 1<<18)
+//   --batch=N             mutations per epoch publish (default 256)
+//   --threshold=F         staleness ratio that forks a re-bootstrap
+//                         (default 0.1; "inf" disables)
+//   --adopt-lag=N         publishes between fork and adoption (default 4;
+//                         0 = adopt whenever the job finishes)
+//   --mutation-fraction=F fraction of edges held back as the live
+//                         stream (default 0.2)
+//   --removal-interval=N  every Nth mutation is a removal (default 8;
+//                         0 disables removals)
+//   --trace=FILE          export a Chrome trace of the run to FILE
+//   --verbose             emit debug-severity log lines too
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/partition_service.h"
+#include "serve/traffic.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+using tpsl::serve::TrafficOptions;
+using tpsl::serve::TrafficResult;
+
+struct Options {
+  bool smoke = false;
+  std::string dataset = "OK";
+  int shift = 2;
+  uint32_t k = 32;
+  uint64_t seed = 42;
+  uint32_t readers = 4;
+  uint64_t lookups = uint64_t{1} << 18;
+  uint32_t batch = 256;
+  double threshold = 0.1;
+  uint32_t adopt_lag = 4;
+  double mutation_fraction = 0.2;
+  uint32_t removal_interval = 8;
+  std::string trace_path;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--smoke] [--dataset=CODE] [--shift=N] [--k=N]"
+               " [--seed=N] [--readers=N] [--lookups=N] [--batch=N]"
+               " [--threshold=F|inf] [--adopt-lag=N] [--mutation-fraction=F]"
+               " [--removal-interval=N] [--trace=FILE] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *value = arg + len + 1;
+  return true;
+}
+
+bool ParseU64(const std::string& value, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseU32(const std::string& value, uint32_t* out) {
+  uint64_t wide = 0;
+  if (!ParseU64(value, &wide) || wide > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  if (value == "inf") {
+    *out = tpsl::serve::PartitionService::kNeverRebootstrap;
+    return true;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !(parsed >= 0.0)) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+void PrintResult(const TrafficResult& result) {
+  std::printf("traffic result\n");
+  std::printf("  base_edges          %llu\n",
+              static_cast<unsigned long long>(result.base_edges));
+  std::printf("  adds                %llu\n",
+              static_cast<unsigned long long>(result.adds));
+  std::printf("  removals            %llu\n",
+              static_cast<unsigned long long>(result.removals));
+  std::printf("  skipped_mutations   %llu\n",
+              static_cast<unsigned long long>(result.skipped_mutations));
+  std::printf("  live_edges          %llu\n",
+              static_cast<unsigned long long>(result.live_edges));
+  std::printf("  epochs_published    %llu\n",
+              static_cast<unsigned long long>(result.epochs_published));
+  std::printf("  rebootstraps        %llu\n",
+              static_cast<unsigned long long>(result.rebootstraps));
+  std::printf("  lookups             %llu (hits %llu)\n",
+              static_cast<unsigned long long>(result.lookups),
+              static_cast<unsigned long long>(result.lookup_hits));
+  std::printf("  lookup_qps          %.3e (%.3fs slowest reader)\n",
+              result.lookup_qps, result.reader_seconds);
+  std::printf("  mutation_qps        %.3e (%.3fs writer)\n",
+              result.mutation_qps, result.writer_seconds);
+  std::printf("  replication_factor  %.4f\n", result.replication_factor);
+  std::printf("  measured_alpha      %.4f\n", result.measured_alpha);
+  std::printf("  staleness_ratio     %.4f\n", result.staleness_ratio);
+  std::printf("  state_bytes         %llu\n",
+              static_cast<unsigned long long>(result.state_bytes));
+}
+
+/// Invariants every healthy run satisfies; the smoke contract. Checked
+/// rather than eyeballed so the tsan CI step fails loudly on logic
+/// breakage, not just on data races.
+bool CheckSmokeResult(const Options& options, const TrafficResult& result) {
+  bool ok = true;
+  const auto fail = [&ok](const char* what) {
+    TPSL_LOG(Error) << "smoke: " << what;
+    ok = false;
+  };
+  const uint64_t expected_lookups =
+      static_cast<uint64_t>(options.readers) * options.lookups;
+  if (result.lookups != expected_lookups) {
+    fail("reader lookup count does not match readers * lookups");
+  }
+  if (result.base_edges == 0 || result.live_edges == 0) {
+    fail("no live edges after traffic");
+  }
+  if (result.adds == 0 || result.removals == 0) {
+    fail("mutation stream did not exercise both adds and removals");
+  }
+  if (result.epochs_published < 2) {
+    fail("publishing never advanced past the bootstrap epoch");
+  }
+  if (result.rebootstraps == 0) {
+    fail("staleness never triggered a re-bootstrap");
+  }
+  if (!(result.replication_factor >= 1.0) ||
+      !std::isfinite(result.replication_factor)) {
+    fail("replication factor below 1 or non-finite");
+  }
+  if (!(result.measured_alpha > 0.0) || !std::isfinite(result.measured_alpha)) {
+    fail("measured alpha non-positive or non-finite");
+  }
+  if (result.state_bytes == 0) {
+    fail("state bytes reported as zero");
+  }
+  return ok;
+}
+
+int Run(const Options& options) {
+  auto edges = tpsl::LoadDataset(options.dataset, options.shift);
+  if (!edges.ok()) {
+    TPSL_LOG(Error) << edges.status().ToString();
+    return 1;
+  }
+  TrafficOptions traffic;
+  traffic.config.num_partitions = options.k;
+  traffic.config.seed = options.seed;
+  traffic.config.exec.threads = 1;
+  traffic.readers = options.readers;
+  traffic.lookups_per_reader = options.lookups;
+  traffic.mutation_fraction = options.mutation_fraction;
+  traffic.removal_interval = options.removal_interval;
+  traffic.publish_batch_edges = options.batch;
+  traffic.rebootstrap_threshold = options.threshold;
+  traffic.adopt_after_publishes = options.adopt_lag;
+  traffic.seed = options.seed;
+  tpsl::obs::MetricsRegistry& registry = tpsl::obs::MetricsRegistry::Default();
+  registry.Reset();
+  traffic.lookup_histogram = registry.GetHistogram("serve.lookup_seconds");
+
+  tpsl::WallTimer timer;
+  auto result = tpsl::serve::RunTraffic(*edges, traffic);
+  if (!result.ok()) {
+    TPSL_LOG(Error) << result.status().ToString();
+    return 1;
+  }
+  std::printf("serve_bench dataset=%s shift=%d k=%u seed=%llu readers=%u "
+              "(%.3fs wall)\n",
+              options.dataset.c_str(), options.shift, options.k,
+              static_cast<unsigned long long>(options.seed), options.readers,
+              timer.ElapsedSeconds());
+  PrintResult(*result);
+  std::printf("\nobs snapshot\n%s", registry.Snapshot().ToString().c_str());
+  if (options.smoke) {
+    const bool ok = CheckSmokeResult(options, *result);
+    std::printf("smoke: %s\n", ok ? "ok" : "BROKEN");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    bool parsed = true;
+    if (std::strcmp(arg, "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      tpsl::SetMinLogSeverity(tpsl::LogSeverity::kDebug);
+    } else if (ParseFlag(arg, "--dataset", &value)) {
+      options.dataset = value;
+    } else if (ParseFlag(arg, "--trace", &value)) {
+      options.trace_path = value;
+    } else if (ParseFlag(arg, "--shift", &value)) {
+      uint32_t shift = 0;
+      parsed = ParseU32(value, &shift) && shift <= 30;
+      options.shift = static_cast<int>(shift);
+    } else if (ParseFlag(arg, "--k", &value)) {
+      parsed = ParseU32(value, &options.k) && options.k > 0;
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      parsed = ParseU64(value, &options.seed);
+    } else if (ParseFlag(arg, "--readers", &value)) {
+      parsed = ParseU32(value, &options.readers);
+    } else if (ParseFlag(arg, "--lookups", &value)) {
+      parsed = ParseU64(value, &options.lookups) && options.lookups > 0;
+    } else if (ParseFlag(arg, "--batch", &value)) {
+      parsed = ParseU32(value, &options.batch) && options.batch > 0;
+    } else if (ParseFlag(arg, "--threshold", &value)) {
+      parsed = ParseDouble(value, &options.threshold);
+    } else if (ParseFlag(arg, "--adopt-lag", &value)) {
+      parsed = ParseU32(value, &options.adopt_lag);
+    } else if (ParseFlag(arg, "--mutation-fraction", &value)) {
+      parsed = ParseDouble(value, &options.mutation_fraction) &&
+               options.mutation_fraction < 1.0;
+    } else if (ParseFlag(arg, "--removal-interval", &value)) {
+      parsed = ParseU32(value, &options.removal_interval);
+    } else {
+      TPSL_LOG(Error) << "unknown argument '" << arg << "'";
+      return Usage(argv[0]);
+    }
+    if (!parsed) {
+      TPSL_LOG(Error) << "bad value in '" << arg << "'";
+      return Usage(argv[0]);
+    }
+  }
+  if (options.smoke) {
+    // Fixed tiny shape: big enough that the 20% mutation tail crosses
+    // the fork threshold several times (live re-bootstraps under
+    // concurrent lookups — the shape the tsan job exists to race), and
+    // small enough to finish in seconds under sanitizers.
+    options.dataset = "OK";
+    options.shift = 5;
+    options.k = 8;
+    options.readers = options.readers != 0 ? options.readers : 4;
+    options.lookups = 1 << 13;
+    options.batch = 64;
+    options.threshold = 0.05;
+    options.adopt_lag = 2;
+    options.mutation_fraction = 0.2;
+    options.removal_interval = 8;
+  }
+  if (!options.trace_path.empty()) {
+    tpsl::obs::SetTracingEnabled(true);
+  }
+  const int rc = Run(options);
+  if (!options.trace_path.empty()) {
+    tpsl::obs::SetTracingEnabled(false);
+    const tpsl::Status status =
+        tpsl::obs::WriteChromeTrace(options.trace_path);
+    if (!status.ok()) {
+      TPSL_LOG(Error) << "trace export failed: " << status.ToString();
+      return rc != 0 ? rc : 1;
+    }
+    TPSL_LOG(Info) << "wrote " << options.trace_path;
+  }
+  return rc;
+}
