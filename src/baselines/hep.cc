@@ -86,7 +86,8 @@ Status HepPartitioner::Partition(EdgeStream& stream,
       max_id = std::max({max_id, e.first, e.second});
     }
     const expansion::IndexedAdjacency adjacency =
-        expansion::IndexedAdjacency::Build(low_edges, max_id + 1);
+        expansion::IndexedAdjacency::Build(low_edges, max_id + 1,
+                                           config.exec);
     expansion::Expander expander(&low_edges, &adjacency);
     expansion_bytes = low_edges.size() * sizeof(Edge) +
                       adjacency.HeapBytes() + expander.HeapBytes();

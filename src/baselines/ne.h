@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "graph/types.h"
 #include "partition/dense_bitset.h"
 #include "partition/partitioner.h"
@@ -21,8 +22,20 @@ struct IndexedAdjacency {
   std::vector<VertexId> neighbors;  // 2|E|
   std::vector<uint64_t> edge_ids;   // 2|E|, parallel to neighbors
 
+  /// Builds the adjacency. With a multi-thread ExecContext the count
+  /// and fill passes fan out over contiguous edge-id chunks on the
+  /// shared pool (a stable parallel counting sort: per-chunk counts
+  /// are prefix-summed into per-chunk write cursors, so every entry
+  /// lands exactly where the sequential build puts it). The result is
+  /// byte-identical at any thread count — the profile-justified
+  /// parallel stage of NE/SNE/HEP, whose expansion cores stay
+  /// sequential (greedy, state-carrying).
+  /// The default context is sequential; partitioners forward their
+  /// PartitionConfig::exec to opt in.
   static IndexedAdjacency Build(const std::vector<Edge>& edges,
-                                VertexId num_vertices);
+                                VertexId num_vertices,
+                                const exec::ExecContext& exec =
+                                    exec::ExecContext{/*threads=*/1});
 
   VertexId num_vertices() const {
     return static_cast<VertexId>(offsets.size() - 1);

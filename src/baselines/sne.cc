@@ -80,7 +80,7 @@ Status SnePartitioner::Partition(EdgeStream& stream,
       max_id = std::max({max_id, e.first, e.second});
     }
     const expansion::IndexedAdjacency adjacency =
-        expansion::IndexedAdjacency::Build(chunk, max_id + 1);
+        expansion::IndexedAdjacency::Build(chunk, max_id + 1, config.exec);
     expansion::Expander expander(&chunk, &adjacency);
     peak_chunk_bytes = std::max(
         peak_chunk_bytes, chunk.size() * sizeof(Edge) +

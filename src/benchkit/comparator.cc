@@ -193,14 +193,16 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric,
   if (threads <= 1) {
     return spec;
   }
-  if (metric == "seconds" || metric.starts_with("edges_per_sec/")) {
-    // Multi-threaded wall time (and the throughput rates derived from
-    // it) depends on the machine shape (core count, SMT, co-tenancy),
-    // not just the code; record it, never gate it. Quality regressions
-    // on parallel scenarios are caught by the (still gated)
-    // replication/balance metrics below.
-    spec.informational = true;
-  } else if (metric == "replication_factor" || metric == "measured_alpha") {
+  // Multi-threaded wall time and hot-loop throughput are gated with
+  // the same one-sided bands as threads=1 now that the whole pipeline
+  // (clustering, scoring, sinks) rides the engine: the engine clamps
+  // workers to the pool, so a run on any machine shape is at worst the
+  // sequential algorithm, and the generous rel tolerance absorbs
+  // core-count differences between the pinning machine and CI. What
+  // the gate catches is a parallel path that serializes again (a
+  // reintroduced sink mutex, a sequentialized pass) — a multiple, not
+  // a percentage.
+  if (metric == "replication_factor" || metric == "measured_alpha") {
     // Parallel workers score against stale shared state, so quality is
     // scheduling-dependent: same class, not same bits. 10% catches a
     // broken scoring path while absorbing interleaving noise.

@@ -124,13 +124,17 @@ struct SharedState {
 
 /// Runs one engine-driven pass over the stream: ParallelForEdges pulls
 /// batches and fans them out; workers process them via `process(edge)`
-/// returning the chosen partition or kInvalidPartition to skip;
-/// assignments are flushed to the sink under a mutex, batch at a time.
+/// returning the chosen partition or kInvalidPartition to skip.
+/// Assignments are flushed batch-at-a-time through the batched sink
+/// protocol: a ConcurrentSafe pipeline (the runner's threads>1
+/// assembly) absorbs batches lock-free from every worker; anything
+/// else is serialized under a mutex, as before.
 template <typename ProcessFn>
 Status ParallelPass(EdgeStream& stream, exec::ThreadPool& pool,
                     uint32_t workers, uint32_t batch_size,
                     AssignmentSink& sink, const ProcessFn& process) {
   std::mutex sink_mutex;
+  const bool concurrent_sink = sink.ConcurrentSafe();
   exec::ParallelForEdgesOptions options;
   options.batch_size = batch_size;
   options.workers = workers;
@@ -138,18 +142,20 @@ Status ParallelPass(EdgeStream& stream, exec::ThreadPool& pool,
       stream, pool, options,
       [&](const Edge* edges, size_t count) -> Status {
         obs::TraceSpan span("score.batch", "partition");
-        std::vector<std::pair<Edge, PartitionId>> results;
+        std::vector<Assignment> results;
         results.reserve(count);
         for (size_t i = 0; i < count; ++i) {
           const PartitionId p = process(edges[i]);
           if (p != kInvalidPartition) {
-            results.emplace_back(edges[i], p);
+            results.push_back({edges[i], p});
           }
         }
         if (!results.empty()) {
-          std::lock_guard<std::mutex> lock(sink_mutex);
-          for (const auto& [edge, partition] : results) {
-            sink.Assign(edge, partition);
+          if (concurrent_sink) {
+            sink.AssignBatch(results.data(), results.size());
+          } else {
+            std::lock_guard<std::mutex> lock(sink_mutex);
+            sink.AssignBatch(results.data(), results.size());
           }
         }
         ScoredEdgesCounter()->Add(count);
@@ -172,7 +178,9 @@ Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
   PartitionStats local_stats;
   PartitionStats& out = stats != nullptr ? *stats : local_stats;
 
-  // --- Sequential Phase 1 (cheap; see class comment). ---
+  // --- Phase 1: degrees (sequential, one counting pass) + clustering
+  // on the engine (same worker pool as Phase 2; see
+  // ParallelStreamingClustering for the threads=1 identity argument).
   DegreeTable degrees;
   {
     PhaseTimer timer(&out, "degree");
@@ -184,9 +192,10 @@ Status ParallelTwoPhasePartitioner::Partition(EdgeStream& stream,
   {
     PhaseTimer timer(&out, "clustering");
     TPSL_ASSIGN_OR_RETURN(
-        clustering, StreamingClustering(stream, degrees,
-                                        config.num_partitions,
-                                        options_.clustering));
+        clustering, ParallelStreamingClustering(stream, degrees,
+                                                config.num_partitions,
+                                                options_.clustering,
+                                                config.exec));
   }
   out.stream_passes += options_.clustering.num_passes;
 

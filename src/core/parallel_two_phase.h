@@ -9,11 +9,12 @@
 namespace tpsl {
 
 /// Parallel 2PS-L — the CuSP-style parallelization the paper sketches
-/// in its related-work discussion: Phase 1 (degrees + clustering) stays
-/// sequential (it is a small share of the run-time, Fig. 5), while the
-/// two Phase-2 streaming passes run on the shared execution engine
-/// (exec::ParallelForEdges over config.exec's thread pool), with
-/// workers scoring against a shared atomic replication table.
+/// in its related-work discussion: the degree count stays sequential
+/// (one cheap counting pass), while the Phase-1 clustering pass and
+/// both Phase-2 streaming passes run on the shared execution engine
+/// (exec::ParallelForEdges over config.exec's thread pool) — clustering
+/// over relaxed-atomic volume/membership state, scoring against a
+/// shared atomic replication table.
 ///
 /// Thread count and batch size come from PartitionConfig::exec; with
 /// exec.threads == 1 the engine degrades to an in-order inline loop and

@@ -1,7 +1,9 @@
 #include "core/streaming_clustering.h"
 
+#include <atomic>
 #include <limits>
 
+#include "exec/parallel_for_edges.h"
 #include "partition/score_tables.h"
 
 namespace tpsl {
@@ -114,6 +116,162 @@ StatusOr<Clustering> StreamingClustering(EdgeStream& stream,
   std::vector<ClusterId> remap(state.vol.size(), kInvalidCluster);
   for (VertexId v = 0; v < state.v2c.size(); ++v) {
     const ClusterId old_id = state.v2c[v];
+    if (old_id == kInvalidCluster) {
+      continue;  // Vertex never appeared in the stream.
+    }
+    if (remap[old_id] == kInvalidCluster) {
+      remap[old_id] = static_cast<ClusterId>(result.cluster_volumes.size());
+      result.cluster_volumes.push_back(0);
+    }
+    const ClusterId new_id = remap[old_id];
+    result.vertex_cluster[v] = new_id;
+    result.cluster_volumes[new_id] += degrees.degree(v);
+  }
+  return result;
+}
+
+namespace {
+
+/// Shared-state variant of ClusteringState for the engine-driven
+/// passes: cluster labels are founding-vertex ids (no shared allocation
+/// counter), volumes live in one relaxed-atomic array indexed by label.
+/// vol[v] is pre-seeded with degree(v) — exactly the volume of the
+/// singleton cluster {v} — so first touch needs only the v2c CAS.
+struct AtomicClusteringState {
+  const DegreeTable* degrees;
+  std::vector<std::atomic<ClusterId>> v2c;
+  std::vector<std::atomic<uint64_t>> vol;
+  uint64_t max_volume;
+
+  void EnsureCluster(VertexId v) {
+    // Check-then-CAS: after warm-up almost every vertex is labeled, and
+    // the plain load keeps the hot path free of lock-prefixed RMWs (an
+    // unconditional CAS halves inline clustering throughput). The CAS
+    // stays authoritative for the cold first touch.
+    if (v2c[v].load(std::memory_order_relaxed) != kInvalidCluster) {
+      return;
+    }
+    ClusterId expected = kInvalidCluster;
+    v2c[v].compare_exchange_strong(expected, v, std::memory_order_relaxed);
+  }
+
+  /// Same decision sequence as ClusteringState::ProcessEdge; reads are
+  /// relaxed snapshots, so under concurrency a decision may be made on
+  /// stale volumes (benign drift — see header comment). Run inline in
+  /// stream order, every snapshot is the exact current value and the
+  /// decisions match the sequential pass step for step.
+  void ProcessEdge(const Edge& e) {
+    EnsureCluster(e.first);
+    EnsureCluster(e.second);
+
+    const ClusterId cu = v2c[e.first].load(std::memory_order_relaxed);
+    const ClusterId cv = v2c[e.second].load(std::memory_order_relaxed);
+    if (cu == cv) {
+      return;
+    }
+    const uint64_t vol_u = vol[cu].load(std::memory_order_relaxed);
+    const uint64_t vol_v = vol[cv].load(std::memory_order_relaxed);
+    if (vol_u > max_volume || vol_v > max_volume) {
+      return;
+    }
+    const uint32_t du = degrees->degree(e.first);
+    const uint32_t dv = degrees->degree(e.second);
+    const int64_t residual_u = static_cast<int64_t>(vol_u) - du;
+    const int64_t residual_v = static_cast<int64_t>(vol_v) - dv;
+
+    VertexId small_vertex;
+    uint32_t small_degree;
+    ClusterId small_cluster, large_cluster;
+    uint64_t large_volume;
+    if (residual_u <= residual_v) {
+      small_vertex = e.first;
+      small_degree = du;
+      small_cluster = cu;
+      large_cluster = cv;
+      large_volume = vol_v;
+    } else {
+      small_vertex = e.second;
+      small_degree = dv;
+      small_cluster = cv;
+      large_cluster = cu;
+      large_volume = vol_u;
+    }
+    if (large_volume + small_degree <= max_volume) {
+      vol[large_cluster].fetch_add(small_degree, std::memory_order_relaxed);
+      vol[small_cluster].fetch_sub(small_degree, std::memory_order_relaxed);
+      v2c[small_vertex].store(large_cluster, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<Clustering> ParallelStreamingClustering(
+    EdgeStream& stream, const DegreeTable& degrees, uint32_t num_partitions,
+    const ClusteringConfig& config, const exec::ExecContext& exec) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (config.num_passes == 0) {
+    return Status::InvalidArgument("num_passes must be positive");
+  }
+  if (exec.batch_size == 0) {
+    return Status::InvalidArgument("exec.batch_size must be positive");
+  }
+
+  const VertexId num_vertices =
+      static_cast<VertexId>(degrees.degrees.size());
+  AtomicClusteringState state;
+  state.degrees = &degrees;
+  state.v2c = std::vector<std::atomic<ClusterId>>(num_vertices);
+  state.vol = std::vector<std::atomic<uint64_t>>(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    state.v2c[v].store(kInvalidCluster, std::memory_order_relaxed);
+    state.vol[v].store(degrees.degree(v), std::memory_order_relaxed);
+  }
+  if (config.enforce_volume_cap) {
+    const double cap = config.volume_cap_factor *
+                       static_cast<double>(degrees.TotalVolume()) /
+                       num_partitions;
+    state.max_volume = static_cast<uint64_t>(cap);
+  } else {
+    state.max_volume = std::numeric_limits<uint64_t>::max();
+  }
+
+  exec::ParallelForEdgesOptions options;
+  options.batch_size = exec.batch_size;
+  options.workers = exec.ResolveThreads();
+  exec::ThreadPool& pool = exec.pool_or_global();
+  for (uint32_t pass = 0; pass < config.num_passes; ++pass) {
+    TPSL_RETURN_IF_ERROR(exec::ParallelForEdges(
+        stream, pool, options,
+        [&state](const Edge* edges, size_t count) -> Status {
+          // In-batch software prefetch: the random accesses are the
+          // v2c/vol rows of both endpoints a few edges ahead, same
+          // distance as the sequential kernel driver.
+          constexpr size_t kPrefetchDistance = 8;
+          for (size_t i = 0; i < count; ++i) {
+            if (i + kPrefetchDistance < count) {
+              const Edge& ahead = edges[i + kPrefetchDistance];
+              __builtin_prefetch(state.v2c.data() + ahead.first, 0, 3);
+              __builtin_prefetch(state.v2c.data() + ahead.second, 0, 3);
+            }
+            state.ProcessEdge(edges[i]);
+          }
+          return Status::OK();
+        }));
+  }
+
+  // Compaction is shared with the sequential pass: renumber labels by
+  // first member in vertex-scan order and recompute volumes from
+  // member degrees. Labels here are vertex ids, but the renumbering
+  // only depends on which vertices share a label, so the output is the
+  // same dense Clustering either way.
+  Clustering result;
+  result.vertex_cluster.assign(num_vertices, kInvalidCluster);
+  std::vector<ClusterId> remap(num_vertices, kInvalidCluster);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const ClusterId old_id = state.v2c[v].load(std::memory_order_relaxed);
     if (old_id == kInvalidCluster) {
       continue;  // Vertex never appeared in the stream.
     }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "graph/degrees.h"
 #include "graph/edge_stream.h"
 #include "graph/types.h"
@@ -60,6 +61,30 @@ StatusOr<Clustering> StreamingClustering(EdgeStream& stream,
                                          const DegreeTable& degrees,
                                          uint32_t num_partitions,
                                          const ClusteringConfig& config);
+
+/// Algorithm 1 on the execution engine: the streaming passes ride
+/// exec::ParallelForEdges with the clustering state held in relaxed
+/// atomics, so the clustering phase scales with the same worker pool
+/// as Phase 2 instead of bounding the parallel partitioners at
+/// Amdahl's sequential fraction.
+///
+/// Labeling: clusters are labeled by founding vertex id (v2c[v] = v on
+/// first touch) instead of allocation order, so label assignment needs
+/// no shared counter and no ordering. Migration decisions read only
+/// volumes and degrees — never label values — and compaction renumbers
+/// by first member in vertex-scan order, so with exec.threads == 1
+/// (the engine's in-order inline path) the compacted result is
+/// byte-identical to StreamingClustering.
+///
+/// With threads > 1, workers race on volumes and membership with
+/// relaxed atomics: decisions may use stale volumes and the cap can be
+/// transiently overshot (bounded by one migration per in-flight
+/// worker), which drifts *quality*, never correctness — the returned
+/// cluster_volumes are recomputed exactly from final membership, and
+/// every streamed vertex ends up in exactly one cluster.
+StatusOr<Clustering> ParallelStreamingClustering(
+    EdgeStream& stream, const DegreeTable& degrees, uint32_t num_partitions,
+    const ClusteringConfig& config, const exec::ExecContext& exec);
 
 }  // namespace tpsl
 

@@ -1,5 +1,6 @@
 #include "exec/parallel_for_edges.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -47,9 +48,15 @@ Status ParallelForEdges(EdgeStream& stream, ThreadPool& pool,
   if (options.batch_size == 0) {
     return Status::InvalidArgument("batch_size must be positive");
   }
-  const uint32_t workers =
+  // Clamp to the pool: more in-flight batches than pool threads buys
+  // no concurrency, only queue/buffer overhead — and on a one-thread
+  // pool it would pay the full dispatch machinery for a sequential
+  // run. The clamp makes any single-threaded pool take the
+  // deterministic inline path regardless of the requested count.
+  const uint32_t requested =
       options.workers != 0 ? options.workers : pool.num_threads();
-  if (workers == 1) {
+  const uint32_t workers = std::min(requested, pool.num_threads());
+  if (workers <= 1) {
     return InlineForEdges(stream, options.batch_size, fn);
   }
 

@@ -17,7 +17,10 @@ struct ParallelForEdgesOptions {
   /// Concurrency bound: at most this many batches are in flight at
   /// once, so at most this many pool workers serve this stream (the
   /// pool may be bigger and shared). 0 = the pool's thread count;
-  /// 1 = the deterministic inline path.
+  /// 1 = the deterministic inline path. Clamped to the pool's thread
+  /// count — extra in-flight batches beyond the pool cannot run
+  /// anyway, and the clamp lets a single-threaded pool skip the
+  /// dispatch machinery entirely (the fast-path bypass).
   uint32_t workers = 0;
 };
 

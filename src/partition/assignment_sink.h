@@ -10,6 +10,13 @@
 
 namespace tpsl {
 
+/// One (edge -> partition) decision, the unit of the batched sink
+/// protocol below.
+struct Assignment {
+  Edge edge;
+  PartitionId partition;
+};
+
 /// Receives the (edge -> partition) decisions of a partitioner as they
 /// are made. Mirrors the paper's implementation note: the partitioner
 /// "writes back the partitioned graph data to storage" — a sink is the
@@ -24,6 +31,24 @@ class AssignmentSink {
   virtual ~AssignmentSink() = default;
 
   virtual void Assign(const Edge& edge, PartitionId partition) = 0;
+
+  /// Batched variant: one scored batch delivered in one virtual call,
+  /// so a parallel scoring pass amortizes the dispatch and a
+  /// concurrent-safe sink can absorb the whole batch into one shard.
+  /// Default forwards per edge, preserving Assign()'s exact semantics
+  /// and ordering for sequential sinks.
+  virtual void AssignBatch(const Assignment* batch, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      Assign(batch[i].edge, batch[i].partition);
+    }
+  }
+
+  /// Whether AssignBatch may be called concurrently from multiple
+  /// threads. Sinks that return true are the fast path of a parallel
+  /// partitioner: the scoring pass skips its serializing sink mutex
+  /// entirely. Default false: the runner (or the partitioner's mutex)
+  /// guarantees single-threaded delivery.
+  virtual bool ConcurrentSafe() const { return false; }
 
   /// Bytes of heap memory this sink holds. Feeds the whole-run
   /// state-bytes accounting (paper Fig. 4 memory column): partitioner
@@ -106,6 +131,22 @@ class TeeSink : public AssignmentSink {
     for (AssignmentSink* sink : sinks_) {
       sink->Assign(edge, partition);
     }
+  }
+
+  void AssignBatch(const Assignment* batch, size_t count) override {
+    for (AssignmentSink* sink : sinks_) {
+      sink->AssignBatch(batch, count);
+    }
+  }
+
+  /// A tee is only as concurrent as its least concurrent child.
+  bool ConcurrentSafe() const override {
+    for (const AssignmentSink* sink : sinks_) {
+      if (!sink->ConcurrentSafe()) {
+        return false;
+      }
+    }
+    return true;
   }
 
   /// Sum over the attached sinks (the tee itself holds only pointers).

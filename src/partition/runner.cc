@@ -28,19 +28,38 @@ StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
   // The sink pipeline: quality always, validation unless disabled,
   // materialization and spill on request. Everything is single-pass —
   // each assignment fans out once through the tee as it is made.
+  //
+  // Shape depends on the run's parallelism. threads == 1: the sinks
+  // hang directly off one tee, delivered in stream order (the
+  // byte-identity contract). threads > 1: quality bookkeeping moves to
+  // the concurrent-safe sharded sink and every sequential consumer
+  // moves behind a bounded handoff queue, so the whole pipeline
+  // reports ConcurrentSafe and the scoring pass never takes a sink
+  // mutex — sink consumption overlaps scoring instead of serializing
+  // it.
+  const uint32_t threads = config.exec.ResolveThreads();
   StreamingQualitySink quality_sink(k);
+  std::optional<ShardedQualitySink> sharded_quality;
   ValidatingSink validating_sink(
       k, options.validate && cap_enforced && hint != 0
              ? config.PartitionCapacity(hint)
              : ValidatingSink::kNoCapacity);
-  TeeSink pipeline({&quality_sink});
+  TeeSink pipeline;
+  TeeSink sequential_sinks;  // threads > 1: consumers behind the queue
+  TeeSink& direct = threads > 1 ? sequential_sinks : pipeline;
+  if (threads > 1) {
+    sharded_quality.emplace(k, threads);
+    pipeline.Add(&*sharded_quality);
+  } else {
+    pipeline.Add(&quality_sink);
+  }
   if (options.validate) {
-    pipeline.Add(&validating_sink);
+    direct.Add(&validating_sink);
   }
   std::optional<EdgeListSink> keep_sink;
   if (options.keep_partitions) {
     keep_sink.emplace(k);
-    pipeline.Add(&*keep_sink);
+    direct.Add(&*keep_sink);
   }
   // A failed spill run must not leave partial partition files behind:
   // the error Status carries no SpillInfo, so no caller could clean
@@ -68,7 +87,7 @@ StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
             .string();
     spill_sink.emplace(prefix, k);
     TPSL_RETURN_IF_ERROR(spill_sink->status());
-    pipeline.Add(&*spill_sink);
+    direct.Add(&*spill_sink);
     spill_cleanup.files.prefix = prefix;
     for (PartitionId p = 0; p < k; ++p) {
       spill_cleanup.files.partition_paths.push_back(
@@ -76,12 +95,27 @@ StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
     }
     spill_cleanup.armed = true;
   }
+  std::optional<AsyncHandoffSink> handoff;
+  if (threads > 1 && sequential_sinks.num_sinks() > 0) {
+    // Bound the queue at a few chunks per worker: enough slack that a
+    // slow spill write does not stall scoring, small enough that
+    // back-pressure (not memory) absorbs a persistently slow consumer.
+    handoff.emplace(&sequential_sinks, /*max_queued_chunks=*/4 * threads);
+    pipeline.Add(&*handoff);
+  }
 
   WallTimer timer;
   {
     obs::TraceSpan span("partition.run", "partition");
     TPSL_RETURN_IF_ERROR(
         partitioner.Partition(stream, config, pipeline, &result.stats));
+  }
+  if (handoff) {
+    // Drain the queue and park the drainer before any downstream state
+    // (validation status, spill manifests, materialized partitions) is
+    // read. Part of the measured run: the work was deferred, not free.
+    obs::TraceSpan span("partition.handoff_drain", "partition");
+    handoff->Finish();
   }
   // Some partitioners drive Next() manually instead of via ForEachEdge;
   // a stream that failed mid-pass looks like a short EOF to them.
@@ -101,7 +135,8 @@ StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
   }
   result.wall_seconds = timer.ElapsedSeconds();
 
-  result.quality = quality_sink.Quality();
+  result.quality =
+      sharded_quality ? sharded_quality->Quality() : quality_sink.Quality();
   if (options.validate) {
     // Always check that every edge was assigned; check the hard cap
     // only for partitioners that promise it (stateless hashing does

@@ -73,6 +73,183 @@ PartitionQuality StreamingQualitySink::Quality() const {
   return quality;
 }
 
+ShardedQualitySink::ShardedQualitySink(uint32_t num_partitions,
+                                       uint32_t num_shards)
+    : num_partitions_(num_partitions) {
+  shards_.reserve(num_shards > 0 ? num_shards : 1);
+  for (uint32_t s = 0; s < (num_shards > 0 ? num_shards : 1); ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->loads.assign(num_partitions, 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ShardedQualitySink::AssignBatch(const Assignment* batch, size_t count) {
+  if (count == 0) {
+    return;
+  }
+  // Lease any free shard: with one shard per worker a free one always
+  // exists when callers are the scoring workers, so the scan is one
+  // probe in the common case; the wrap-around spin is a safety net for
+  // oversubscribed callers.
+  Shard* shard = nullptr;
+  for (size_t i = 0;; ++i) {
+    Shard& candidate = *shards_[i % shards_.size()];
+    if (!candidate.in_use.exchange(true, std::memory_order_acquire)) {
+      shard = &candidate;
+      break;
+    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const Edge& e = batch[i].edge;
+    const PartitionId p = batch[i].partition;
+    const VertexId top = std::max(e.first, e.second);
+    if (top >= shard->num_vertices) {
+      shard->num_vertices = top + 1;
+      shard->bits.Resize(static_cast<uint64_t>(shard->num_vertices) *
+                         num_partitions_);
+    }
+    shard->bits.Set(static_cast<uint64_t>(e.first) * num_partitions_ + p);
+    shard->bits.Set(static_cast<uint64_t>(e.second) * num_partitions_ + p);
+    ++shard->loads[p];
+  }
+  shard->in_use.store(false, std::memory_order_release);
+}
+
+PartitionQuality ShardedQualitySink::Quality() const {
+  // Word-parallel merge: one OR per shard into a bitset sized for the
+  // largest shard, then a single ascending set-bit scan yields both
+  // integer terms of the replication factor.
+  VertexId num_vertices = 0;
+  for (const auto& shard : shards_) {
+    num_vertices = std::max(num_vertices, shard->num_vertices);
+  }
+  DenseBitset merged(static_cast<uint64_t>(num_vertices) * num_partitions_);
+  std::vector<uint64_t> loads(num_partitions_, 0);
+  for (const auto& shard : shards_) {
+    merged.InplaceOr(shard->bits);
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      loads[p] += shard->loads[p];
+    }
+  }
+  // total replicas = set bits (a (v,p) bit is one replica); covered
+  // vertices = rows with any bit. ForEachSetBit ascends, so a new row
+  // shows up as a jump in bit/k — the same integers the sequential
+  // sink's incremental counters hold at the end of the stream.
+  uint64_t total_replicas = 0;
+  uint64_t covered = 0;
+  uint64_t last_row = ~uint64_t{0};
+  merged.ForEachSetBit([&](uint64_t bit) {
+    ++total_replicas;
+    const uint64_t row = bit / num_partitions_;
+    if (row != last_row) {
+      ++covered;
+      last_row = row;
+    }
+  });
+
+  // From here on: field-for-field the arithmetic of
+  // StreamingQualitySink::Quality() / ReplicationTable, so the two
+  // sinks agree to the last bit on identical assignments.
+  PartitionQuality quality;
+  quality.partition_sizes = loads;
+  for (uint64_t load : loads) {
+    quality.num_edges += load;
+  }
+  quality.num_covered_vertices = covered;
+  quality.replication_factor =
+      covered == 0 ? 0.0
+                   : static_cast<double>(total_replicas) /
+                         static_cast<double>(covered);
+  if (!loads.empty()) {
+    quality.max_partition_size = *std::max_element(loads.begin(), loads.end());
+    quality.min_partition_size = *std::min_element(loads.begin(), loads.end());
+    if (quality.num_edges > 0) {
+      const double expected = static_cast<double>(quality.num_edges) /
+                              static_cast<double>(loads.size());
+      quality.measured_alpha =
+          static_cast<double>(quality.max_partition_size) / expected;
+    }
+  }
+  return quality;
+}
+
+uint64_t ShardedQualitySink::StateBytes() const {
+  uint64_t bytes = shards_.capacity() * sizeof(std::unique_ptr<Shard>);
+  for (const auto& shard : shards_) {
+    bytes += sizeof(Shard) + shard->bits.HeapBytes() +
+             shard->loads.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+AsyncHandoffSink::AsyncHandoffSink(AssignmentSink* downstream,
+                                   size_t max_queued_chunks)
+    : downstream_(downstream),
+      max_queued_chunks_(max_queued_chunks > 0 ? max_queued_chunks : 1) {}
+
+AsyncHandoffSink::~AsyncHandoffSink() { Finish(); }
+
+void AsyncHandoffSink::AssignBatch(const Assignment* batch, size_t count) {
+  if (count == 0) {
+    return;
+  }
+  std::vector<Assignment> chunk(batch, batch + count);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!started_) {
+    started_ = true;
+    drainer_ = std::thread([this]() { DrainLoop(); });
+  }
+  producer_cv_.wait(lock, [this]() {
+    return queue_.size() < max_queued_chunks_;
+  });
+  queue_.push_back(std::move(chunk));
+  lock.unlock();
+  drainer_cv_.notify_one();
+}
+
+void AsyncHandoffSink::DrainLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    drainer_cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // stop_ and drained: everything delivered
+    }
+    std::vector<Assignment> chunk = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    producer_cv_.notify_one();
+    downstream_->AssignBatch(chunk.data(), chunk.size());
+    lock.lock();
+  }
+}
+
+void AsyncHandoffSink::Finish() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    if (started_) {
+      to_join = std::move(drainer_);
+      started_ = false;
+    }
+  }
+  drainer_cv_.notify_one();
+  if (to_join.joinable()) {
+    to_join.join();
+  }
+  // A late AssignBatch after Finish (none in the runner's sequencing)
+  // still delivers: it restarts the drainer, which drains and exits on
+  // the sticky stop_; the destructor's Finish joins it.
+}
+
+uint64_t AsyncHandoffSink::StateBytes() const {
+  // The queue is transient back-pressure memory, not algorithm state;
+  // report the downstream sinks, which are the pipeline's real
+  // footprint.
+  return downstream_->StateBytes();
+}
+
 void ValidatingSink::Assign(const Edge& /*edge*/, PartitionId partition) {
   const uint64_t load = ++loads_[partition];
   if (load > capacity_ && status_.ok()) {

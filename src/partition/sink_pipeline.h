@@ -2,11 +2,18 @@
 #define TPSL_PARTITION_SINK_PIPELINE_H_
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "graph/types.h"
 #include "partition/assignment_sink.h"
+#include "partition/dense_bitset.h"
 #include "partition/metrics.h"
 #include "partition/replication_table.h"
 #include "util/status.h"
@@ -62,6 +69,112 @@ class StreamingQualitySink : public AssignmentSink {
   std::vector<uint64_t> loads_;
   const uint64_t sample_mask_;
   uint64_t assigned_ = 0;
+};
+
+/// The concurrent-safe replacement for StreamingQualitySink under a
+/// parallel scoring pass: per-shard replication bitsets and load
+/// counters, merged word-parallel when the quality is read. Each
+/// AssignBatch call leases one shard (spinning over a fixed pool of
+/// try-locks), absorbs the whole batch into it, and releases it — no
+/// shared mutable word is ever touched by two threads at once, so the
+/// scoring pass never serializes on quality bookkeeping.
+///
+/// Exactness: a replication bit is idempotent and a load is a sum, so
+/// the merged state is independent of which shard saw which edge and
+/// of arrival order. Quality() computes total replicas as the merged
+/// popcount and covered vertices as the count of non-empty rows —
+/// integer-for-integer the state StreamingQualitySink accumulates — and
+/// then applies field-for-field the same floating-point arithmetic, so
+/// the result matches the sequential oracle to the last bit (the
+/// property suite asserts exact equality).
+class ShardedQualitySink : public AssignmentSink {
+ public:
+  ShardedQualitySink(uint32_t num_partitions, uint32_t num_shards);
+
+  void Assign(const Edge& edge, PartitionId partition) override {
+    const Assignment one{edge, partition};
+    AssignBatch(&one, 1);
+  }
+
+  void AssignBatch(const Assignment* batch, size_t count) override;
+
+  bool ConcurrentSafe() const override { return true; }
+
+  /// Merged quality over everything assigned so far. Not thread-safe
+  /// against concurrent AssignBatch calls: call after the pass ends.
+  PartitionQuality Quality() const;
+
+  uint64_t StateBytes() const override;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+ private:
+  /// One worker's private slice of the replication state. The bitset is
+  /// vertex-major like ReplicationTable (row v = k bits at v*k), grown
+  /// lazily, so the merge is a straight word-wise OR.
+  struct Shard {
+    std::atomic<bool> in_use{false};
+    DenseBitset bits;
+    std::vector<uint64_t> loads;
+    VertexId num_vertices = 0;
+  };
+
+  const uint32_t num_partitions_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Decouples a parallel scoring pass from sequential sink consumers
+/// (validation, spill writers, materialization) with a bounded handoff
+/// queue: producers enqueue assignment chunks from any thread; a
+/// dedicated drainer thread delivers them downstream one chunk at a
+/// time, so the downstream sinks keep their single-threaded contract
+/// while their work overlaps the scoring pass instead of serializing
+/// it. Back-pressure: when the queue is full, producers block until
+/// the drainer frees a slot, bounding memory at O(queue × chunk).
+///
+/// Finish() flushes the queue and joins the drainer; the runner calls
+/// it before reading any downstream state (validation status, spill
+/// manifests). The destructor also joins, so an error return that
+/// skips Finish() cannot leak the thread.
+class AsyncHandoffSink : public AssignmentSink {
+ public:
+  /// `downstream` must outlive the sink; `max_queued_chunks` bounds
+  /// the handoff queue (chunks are one AssignBatch call each).
+  explicit AsyncHandoffSink(AssignmentSink* downstream,
+                            size_t max_queued_chunks = 64);
+  ~AsyncHandoffSink() override;
+
+  void Assign(const Edge& edge, PartitionId partition) override {
+    const Assignment one{edge, partition};
+    AssignBatch(&one, 1);
+  }
+
+  void AssignBatch(const Assignment* batch, size_t count) override;
+
+  bool ConcurrentSafe() const override { return true; }
+
+  /// Drains everything enqueued so far into the downstream sink and
+  /// stops the drainer thread. Idempotent; after Finish() the
+  /// downstream state is complete and safe to read single-threaded.
+  void Finish();
+
+  uint64_t StateBytes() const override;
+
+ private:
+  void DrainLoop();
+
+  AssignmentSink* const downstream_;
+  const size_t max_queued_chunks_;
+
+  std::mutex mutex_;
+  std::condition_variable producer_cv_;  // queue has space
+  std::condition_variable drainer_cv_;   // queue has work (or stop)
+  std::deque<std::vector<Assignment>> queue_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread drainer_;
 };
 
 /// Enforces the partitioning contract as assignments arrive: when the

@@ -1,0 +1,369 @@
+// The parallel pipeline's exactness contracts: the sharded quality
+// sink must agree with the sequential StreamingQualitySink oracle to
+// the last bit under any interleaving, the async handoff must deliver
+// every assignment (in order for a single producer), and the parallel
+// clustering pass must be byte-identical to the sequential Algorithm 1
+// when inline (threads=1). The concurrent tests double as the tsan
+// hammer for the sink protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/ne.h"
+#include "baselines/registry.h"
+#include "core/streaming_clustering.h"
+#include "core/two_phase_partitioner.h"
+#include "exec/thread_pool.h"
+#include "graph/degrees.h"
+#include "graph/generators.h"
+#include "graph/in_memory_edge_stream.h"
+#include "partition/runner.h"
+#include "partition/sink_pipeline.h"
+
+namespace tpsl {
+namespace {
+
+/// Same three seeded families as the state-kernel identity oracle:
+/// skewed social (R-MAT), strong communities (planted partition), and
+/// uniform (Erdős–Rényi).
+std::vector<Edge> MakeFamily(const std::string& family) {
+  if (family == "social") {
+    RmatConfig config;
+    config.scale = 11;
+    config.edge_factor = 8;
+    return GenerateRmat(config);
+  }
+  if (family == "community") {
+    PlantedPartitionConfig config;
+    config.num_vertices = 2048;
+    config.num_edges = 16000;
+    config.num_communities = 32;
+    return GeneratePlantedPartition(config);
+  }
+  ErdosRenyiConfig config;
+  config.num_vertices = 2048;
+  config.num_edges = 16000;
+  return GenerateErdosRenyi(config);
+}
+
+/// Materializes the assignment stream so the same decisions can be fed
+/// to both quality sinks.
+class RecordingSink : public AssignmentSink {
+ public:
+  void Assign(const Edge& edge, PartitionId partition) override {
+    assignments_.push_back({edge, partition});
+  }
+  const std::vector<Assignment>& assignments() const { return assignments_; }
+
+ private:
+  std::vector<Assignment> assignments_;
+};
+
+/// Feeds the recorded stream to a ShardedQualitySink from
+/// `num_threads` concurrent producers (work-stealing over fixed
+/// chunks, so the shard interleaving differs run to run) and returns
+/// the merged quality.
+PartitionQuality FeedSharded(const std::vector<Assignment>& assignments,
+                             uint32_t k, uint32_t num_threads) {
+  ShardedQualitySink sink(k, num_threads);
+  constexpr size_t kChunk = 512;
+  const size_t num_chunks = (assignments.size() + kChunk - 1) / kChunk;
+  std::atomic<size_t> next_chunk{0};
+  std::vector<std::thread> producers;
+  producers.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    producers.emplace_back([&]() {
+      for (;;) {
+        const size_t c = next_chunk.fetch_add(1);
+        if (c >= num_chunks) {
+          return;
+        }
+        const size_t lo = c * kChunk;
+        const size_t hi = std::min(assignments.size(), lo + kChunk);
+        sink.AssignBatch(assignments.data() + lo, hi - lo);
+      }
+    });
+  }
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  return sink.Quality();
+}
+
+void ExpectExactlyEqual(const PartitionQuality& a, const PartitionQuality& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.replication_factor, b.replication_factor) << label;
+  EXPECT_EQ(a.measured_alpha, b.measured_alpha) << label;
+  EXPECT_EQ(a.num_edges, b.num_edges) << label;
+  EXPECT_EQ(a.num_covered_vertices, b.num_covered_vertices) << label;
+  EXPECT_EQ(a.max_partition_size, b.max_partition_size) << label;
+  EXPECT_EQ(a.min_partition_size, b.min_partition_size) << label;
+  EXPECT_EQ(a.partition_sizes, b.partition_sizes) << label;
+}
+
+/// The exactness property the runner's parallel path rests on: for the
+/// real assignment stream of each registry partitioner, the sharded
+/// sink fed from 1, 2 or 4 concurrent producers matches the sequential
+/// oracle field for field, bit for bit — replication bits are
+/// idempotent and loads are sums, so the merge is order-independent
+/// and the final arithmetic is shared.
+TEST(ShardedQualitySinkTest, MatchesSequentialOracleExactly) {
+  const std::vector<std::string> partitioners = {
+      "2PS-L", "2PS-HDRF", "HDRF", "DBH", "Greedy", "NE"};
+  const std::vector<std::string> families = {"social", "community",
+                                             "uniform"};
+  const uint32_t k = 8;
+  for (const std::string& family : families) {
+    const std::vector<Edge> edges = MakeFamily(family);
+    for (const std::string& name : partitioners) {
+      auto partitioner = MakePartitioner(name);
+      ASSERT_TRUE(partitioner.ok()) << name;
+      InMemoryEdgeStream stream(edges);
+      PartitionConfig config;
+      config.num_partitions = k;
+      config.exec.threads = 1;
+      RecordingSink recorded;
+      ASSERT_TRUE(
+          (*partitioner)->Partition(stream, config, recorded, nullptr).ok())
+          << name << " on " << family;
+
+      StreamingQualitySink sequential(k);
+      sequential.AssignBatch(recorded.assignments().data(),
+                             recorded.assignments().size());
+      const PartitionQuality oracle = sequential.Quality();
+      for (const uint32_t threads : {1u, 2u, 4u}) {
+        ExpectExactlyEqual(
+            FeedSharded(recorded.assignments(), k, threads), oracle,
+            name + "/" + family + "/t" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ShardedQualitySinkTest, EmptyAndSingleAssignment) {
+  ShardedQualitySink empty(4, 2);
+  const PartitionQuality none = empty.Quality();
+  EXPECT_EQ(none.num_edges, 0u);
+  EXPECT_EQ(none.replication_factor, 0.0);
+
+  ShardedQualitySink one(4, 2);
+  one.Assign({7, 9}, 2);
+  const PartitionQuality q = one.Quality();
+  EXPECT_EQ(q.num_edges, 1u);
+  EXPECT_EQ(q.num_covered_vertices, 2u);
+  EXPECT_EQ(q.replication_factor, 1.0);
+}
+
+/// A single sequential producer through the handoff must reach the
+/// downstream sink complete and in submission order: the queue is
+/// FIFO and one drainer delivers chunk by chunk.
+TEST(AsyncHandoffSinkTest, PreservesOrderForSequentialProducer) {
+  RecordingSink downstream;
+  AsyncHandoffSink handoff(&downstream, /*max_queued_chunks=*/4);
+  constexpr uint32_t kTotal = 10000;
+  std::vector<Assignment> batch;
+  for (uint32_t i = 0; i < kTotal; ++i) {
+    batch.push_back({{i, i + 1}, static_cast<PartitionId>(i % 7)});
+    if (batch.size() == 256) {
+      handoff.AssignBatch(batch.data(), batch.size());
+      batch.clear();
+    }
+  }
+  handoff.AssignBatch(batch.data(), batch.size());
+  handoff.Finish();
+  ASSERT_EQ(downstream.assignments().size(), kTotal);
+  for (uint32_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(downstream.assignments()[i].edge.first, i);
+    EXPECT_EQ(downstream.assignments()[i].partition,
+              static_cast<PartitionId>(i % 7));
+  }
+}
+
+/// The tsan hammer for the runner's threads>1 pipeline shape: four
+/// producers slam a TeeSink fanning to a sharded quality sink and an
+/// async handoff over a sequential counting sink, exactly the
+/// concurrent half of the runner's assembly. Every assignment must be
+/// counted once on both branches.
+TEST(ParallelPipelineTest, ConcurrentProducersThroughTeeAndHandoff) {
+  const uint32_t k = 16;
+  constexpr uint32_t kProducers = 4;
+  constexpr uint32_t kChunksPerProducer = 64;
+  constexpr uint32_t kChunkSize = 384;
+
+  ShardedQualitySink sharded(k, kProducers);
+  CountingSink counting(k);
+  AsyncHandoffSink handoff(&counting, /*max_queued_chunks=*/8);
+  TeeSink tee{&sharded, &handoff};
+  ASSERT_TRUE(tee.ConcurrentSafe());
+
+  std::vector<std::thread> producers;
+  for (uint32_t t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t]() {
+      std::vector<Assignment> chunk(kChunkSize);
+      for (uint32_t c = 0; c < kChunksPerProducer; ++c) {
+        for (uint32_t i = 0; i < kChunkSize; ++i) {
+          const uint32_t n = (t * kChunksPerProducer + c) * kChunkSize + i;
+          chunk[i] = {{n % 1024, (n / 2) % 1024},
+                      static_cast<PartitionId>(n % k)};
+        }
+        tee.AssignBatch(chunk.data(), chunk.size());
+      }
+    });
+  }
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  handoff.Finish();
+
+  const uint64_t expected =
+      uint64_t{kProducers} * kChunksPerProducer * kChunkSize;
+  EXPECT_EQ(counting.total(), expected);
+  EXPECT_EQ(sharded.Quality().num_edges, expected);
+}
+
+/// End-to-end exactness through RunPartitioner: NE's assignment stream
+/// is identical at any thread count (the parallel adjacency build is a
+/// stable counting sort), so the threads=4 run — which scores through
+/// the sharded sink and validates through the async handoff — must
+/// reproduce the threads=1 quality to the last bit.
+TEST(ParallelPipelineTest, RunnerParallelQualityMatchesSequentialForNe) {
+  RmatConfig rmat;
+  rmat.scale = 12;
+  rmat.edge_factor = 8;
+  const auto edges = GenerateRmat(rmat);
+
+  NePartitioner sequential_ne;
+  InMemoryEdgeStream stream_a(edges);
+  PartitionConfig config_t1;
+  config_t1.num_partitions = 16;
+  config_t1.exec.threads = 1;
+  auto t1 = RunPartitioner(sequential_ne, stream_a, config_t1);
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+
+  exec::ThreadPool pool(4);
+  NePartitioner parallel_ne;
+  InMemoryEdgeStream stream_b(edges);
+  PartitionConfig config_t4;
+  config_t4.num_partitions = 16;
+  config_t4.exec.threads = 4;
+  config_t4.exec.pool = &pool;
+  auto t4 = RunPartitioner(parallel_ne, stream_b, config_t4);
+  ASSERT_TRUE(t4.ok()) << t4.status().ToString();
+
+  ExpectExactlyEqual(t4->quality, t1->quality, "NE t4 vs t1");
+}
+
+/// The parallel 2PS-L partitioner through the full threads=4 runner
+/// pipeline (sharded quality + handoff validation) must still satisfy
+/// the partitioning contract on a real pool.
+TEST(ParallelPipelineTest, RunnerParallel2pslSatisfiesContract) {
+  RmatConfig rmat;
+  rmat.scale = 12;
+  rmat.edge_factor = 8;
+  const auto edges = GenerateRmat(rmat);
+
+  auto partitioner = MakePartitioner("2PS-L(par)");
+  ASSERT_TRUE(partitioner.ok());
+  exec::ThreadPool pool(4);
+  InMemoryEdgeStream stream(edges);
+  PartitionConfig config;
+  config.num_partitions = 32;
+  config.exec.threads = 4;
+  config.exec.pool = &pool;
+  auto result = RunPartitioner(**partitioner, stream, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->quality.num_edges, edges.size());
+  EXPECT_GE(result->quality.replication_factor, 1.0);
+}
+
+/// The inline identity behind the unchanged 2psl golden digests: with
+/// threads=1 the engine runs in order, and the founding-vertex
+/// labeling compacts to exactly the allocation-order labels of the
+/// sequential pass — the whole Clustering must match, not just its
+/// quality, across passes and cap settings.
+TEST(ParallelClusteringTest, InlineMatchesSequentialExactly) {
+  struct Variant {
+    const char* label;
+    ClusteringConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"default", {}});
+  {
+    ClusteringConfig two_passes;
+    two_passes.num_passes = 2;
+    variants.push_back({"two-pass", two_passes});
+  }
+  {
+    ClusteringConfig uncapped;
+    uncapped.enforce_volume_cap = false;
+    variants.push_back({"uncapped", uncapped});
+  }
+
+  for (const std::string family : {"social", "community", "uniform"}) {
+    const std::vector<Edge> edges = MakeFamily(family);
+    InMemoryEdgeStream stream(edges);
+    auto degrees = ComputeDegrees(stream);
+    ASSERT_TRUE(degrees.ok());
+    for (const Variant& variant : variants) {
+      auto sequential =
+          StreamingClustering(stream, *degrees, 8, variant.config);
+      ASSERT_TRUE(sequential.ok()) << variant.label;
+      exec::ExecContext inline_exec;
+      inline_exec.threads = 1;
+      auto parallel = ParallelStreamingClustering(stream, *degrees, 8,
+                                                  variant.config, inline_exec);
+      ASSERT_TRUE(parallel.ok()) << variant.label;
+      EXPECT_EQ(parallel->vertex_cluster, sequential->vertex_cluster)
+          << family << "/" << variant.label;
+      EXPECT_EQ(parallel->cluster_volumes, sequential->cluster_volumes)
+          << family << "/" << variant.label;
+    }
+  }
+}
+
+/// With real concurrency the clustering may drift in quality but never
+/// in correctness: every non-isolated vertex lands in exactly one
+/// compacted cluster, and the returned volumes are the exact member
+/// degree sums (they are recomputed from final membership, not from
+/// the racy accumulators).
+TEST(ParallelClusteringTest, ManyThreadInvariants) {
+  RmatConfig rmat;
+  rmat.scale = 12;
+  rmat.edge_factor = 8;
+  const auto edges = GenerateRmat(rmat);
+  InMemoryEdgeStream stream(edges);
+  auto degrees = ComputeDegrees(stream);
+  ASSERT_TRUE(degrees.ok());
+
+  exec::ThreadPool pool(4);
+  exec::ExecContext exec;
+  exec.threads = 4;
+  exec.pool = &pool;
+  exec.batch_size = 1024;
+  auto clustering =
+      ParallelStreamingClustering(stream, *degrees, 8, {}, exec);
+  ASSERT_TRUE(clustering.ok()) << clustering.status().ToString();
+
+  std::vector<uint64_t> recomputed(clustering->num_clusters(), 0);
+  uint64_t clustered_volume = 0;
+  ASSERT_EQ(clustering->vertex_cluster.size(), degrees->degrees.size());
+  for (VertexId v = 0; v < clustering->vertex_cluster.size(); ++v) {
+    const ClusterId c = clustering->vertex_cluster[v];
+    if (c == kInvalidCluster) {
+      EXPECT_EQ(degrees->degree(v), 0u) << v;
+      continue;
+    }
+    ASSERT_LT(c, clustering->num_clusters());
+    recomputed[c] += degrees->degree(v);
+    clustered_volume += degrees->degree(v);
+  }
+  EXPECT_EQ(recomputed, clustering->cluster_volumes);
+  EXPECT_EQ(clustered_volume, degrees->TotalVolume());
+}
+
+}  // namespace
+}  // namespace tpsl

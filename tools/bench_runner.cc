@@ -29,6 +29,10 @@
 //   --threads=N       override every scenario's pinned worker count
 //                     (records carry the override, so --check flags it
 //                     as config drift — exploration only)
+//   --repeat=N        run each measured scenario N times and report
+//                     the fastest repeat (default: the runner's pinned
+//                     repeat count; micro-kernel CI gates raise this to
+//                     squeeze out scheduler noise)
 //   --time-budget=S   fail if any single scenario takes more than S
 //                     wall seconds (CI's runtime guard for the larger
 //                     scenario tier)
@@ -85,6 +89,7 @@ struct Options {
   std::string spill_dir = "bench/.spill";
   std::string trace_path;                // --trace (empty = tracing off)
   uint32_t threads = 0;                  // --threads override (0 = pinned)
+  uint32_t repeats = 0;                  // --repeat override (0 = default)
   double time_budget_seconds = 0.0;      // --time-budget (0 = no guard)
 };
 
@@ -94,7 +99,8 @@ int Usage(const char* argv0) {
                " --run=NAME)"
                " [--out=DIR] [--scenario=NAME ...] [--catalog=FILE]"
                " [--datasets=DIR] [--spill-dir=DIR] [--threads=N]"
-               " [--time-budget=SECONDS] [--trace=FILE] [--verbose]\n",
+               " [--repeat=N] [--time-budget=SECONDS] [--trace=FILE]"
+               " [--verbose]\n",
                argv0);
   return 2;
 }
@@ -188,6 +194,9 @@ bool RunAll(const std::vector<Scenario>& scenarios, const Options& options,
   context.spill_dir = options.spill_dir;
   context.options = run_options;
   context.options.threads_override = options.threads;
+  if (options.repeats > 0) {
+    context.options.repeats = static_cast<int>(options.repeats);
+  }
   for (const Scenario& scenario : scenarios) {
     TPSL_LOG(Debug) << "running " << scenario.name;
     tpsl::WallTimer timer;
@@ -391,7 +400,10 @@ int RunOne(const Options& options) {
   context.catalog_path = options.catalog_path;
   context.dataset_dir = options.dataset_dir;
   context.spill_dir = options.spill_dir;
-  context.options.repeats = 1;  // one observable pass, not a best-of-N
+  // One observable pass by default (one scenario, one trace); --repeat
+  // turns the dump into a fastest-of-N measurement.
+  context.options.repeats =
+      options.repeats > 0 ? static_cast<int>(options.repeats) : 1;
   context.options.threads_override = options.threads;
   tpsl::WallTimer timer;
   auto record = RunScenarioWithIngest(*scenario, context);
@@ -464,6 +476,15 @@ int main(int argc, char** argv) {
         TPSL_LOG(Error) << "bad --threads '" << value << "' (want 1..1024)";
         return Usage(argv[0]);
       }
+    } else if (ParseFlag(arg, "--repeat", &value)) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed == 0 ||
+          parsed > 1000) {
+        TPSL_LOG(Error) << "bad --repeat '" << value << "' (want 1..1000)";
+        return Usage(argv[0]);
+      }
+      options.repeats = static_cast<uint32_t>(parsed);
     } else if (ParseFlag(arg, "--time-budget", &value)) {
       char* end = nullptr;
       const double parsed = std::strtod(value.c_str(), &end);
