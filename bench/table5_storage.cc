@@ -10,7 +10,7 @@
 
 #include "baselines/registry.h"
 #include "benchkit/measure.h"
-#include "graph/binary_edge_list.h"
+#include "io/edge_file.h"
 #include "io/throttled_edge_stream.h"
 
 int main() {
@@ -26,8 +26,13 @@ int main() {
       std::fprintf(stderr, "%s\n", edges_or.status().ToString().c_str());
       return 1;
     }
+    // Staged in the compressed block format: the simulated device
+    // then moves the on-disk (compressed) bytes, as a real deployment
+    // would.
     const std::string path = "/tmp/tpsl_table5_" + spec.name + ".bin";
-    if (!tpsl::WriteBinaryEdgeList(path, *edges_or).ok()) {
+    if (!tpsl::io::WriteEdgeFile(path, *edges_or,
+                                 tpsl::io::EdgeFileFormat::kCompressedBlocks)
+             .ok()) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return 1;
     }
@@ -37,7 +42,7 @@ int main() {
     const tpsl::StorageProfile profiles[] = {tpsl::kSsdProfile,
                                              tpsl::kHddProfile};
     for (int device = 0; device < 2; ++device) {
-      auto file_or = tpsl::BinaryFileEdgeStream::Open(path);
+      auto file_or = tpsl::io::OpenEdgeFile(path);
       if (!file_or.ok()) {
         std::fprintf(stderr, "%s\n", file_or.status().ToString().c_str());
         return 1;

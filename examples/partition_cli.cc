@@ -15,9 +15,9 @@
 #include <string>
 
 #include "baselines/registry.h"
-#include "graph/binary_edge_list.h"
 #include "graph/generators.h"
 #include "graph/text_edge_list.h"
+#include "io/edge_file.h"
 #include "partition/partitioned_writer.h"
 #include "partition/partitioner.h"
 #include "util/timer.h"
@@ -91,8 +91,9 @@ int main(int argc, char** argv) {
     // with distinct prefixes (e.g. parallel ctest) don't truncate each
     // other's staged file. Bare runs share the default prefix and outputs.
     options.input = options.output_prefix + ".demo.bin";
-    const tpsl::Status staged = tpsl::WriteBinaryEdgeList(
-        options.input, tpsl::GenerateSocialNetwork(config));
+    const tpsl::Status staged = tpsl::io::WriteEdgeFile(
+        options.input, tpsl::GenerateSocialNetwork(config),
+        tpsl::io::EdgeFileFormat::kCompressedBlocks);
     if (!staged.ok()) {
       std::fprintf(stderr, "cannot stage demo graph: %s\n",
                    staged.ToString().c_str());
@@ -109,7 +110,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     const std::string staged = options.output_prefix + ".staged.bin";
-    const tpsl::Status stage_status = tpsl::WriteBinaryEdgeList(staged, *edges);
+    const tpsl::Status stage_status = tpsl::io::WriteEdgeFile(
+        staged, *edges, tpsl::io::EdgeFileFormat::kCompressedBlocks);
     if (!stage_status.ok()) {
       std::fprintf(stderr, "cannot stage %s: %s\n", staged.c_str(),
                    stage_status.ToString().c_str());
@@ -118,7 +120,9 @@ int main(int argc, char** argv) {
     options.input = staged;
   }
 
-  auto stream = tpsl::BinaryFileEdgeStream::Open(options.input);
+  // Sniffs the format: raw u32-pair files and compressed block files
+  // both work here.
+  auto stream = tpsl::io::OpenEdgeFile(options.input);
   if (!stream.ok()) {
     std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
     return 1;

@@ -8,8 +8,9 @@
 #include <string>
 
 #include "core/two_phase_partitioner.h"
-#include "graph/binary_edge_list.h"
 #include "graph/datasets.h"
+#include "io/mmap_edge_stream.h"
+#include "io/edge_file.h"
 #include "io/throttled_edge_stream.h"
 #include "partition/runner.h"
 
@@ -21,21 +22,29 @@ int main() {
     return 1;
   }
   const std::string path = "/tmp/tpsl_web_graph.bin";
-  if (!tpsl::WriteBinaryEdgeList(path, *edges_or).ok()) {
+  if (!tpsl::io::WriteEdgeFile(path, *edges_or,
+                               tpsl::io::EdgeFileFormat::kCompressedBlocks)
+           .ok()) {
     std::fprintf(stderr, "cannot stage graph at %s\n", path.c_str());
     return 1;
   }
   const double gib =
       static_cast<double>(edges_or->size() * sizeof(tpsl::Edge)) / (1 << 30);
-  std::printf("staged UK-like web graph: %zu edges (%.3f GiB) at %s\n",
-              edges_or->size(), gib, path.c_str());
 
-  // Partition straight from the file with a bounded read buffer.
-  auto file_or = tpsl::BinaryFileEdgeStream::Open(path);
+  // Partition straight from the mapping: blocks decode ahead of the
+  // consumer and consumed pages are dropped, so resident memory stays
+  // bounded no matter how large the file is.
+  auto file_or = tpsl::io::MmapEdgeStream::Open(path);
   if (!file_or.ok()) {
     std::fprintf(stderr, "%s\n", file_or.status().ToString().c_str());
     return 1;
   }
+  const double disk_gib =
+      static_cast<double>((*file_or)->file_bytes()) / (1 << 30);
+  std::printf(
+      "staged UK-like web graph: %zu edges (%.3f GiB decoded, %.3f GiB "
+      "on disk, %.2fx) at %s\n",
+      edges_or->size(), gib, disk_gib, gib / disk_gib, path.c_str());
   tpsl::ThrottledEdgeStream metered(file_or->get(), tpsl::kHddProfile);
 
   tpsl::TwoPhasePartitioner partitioner;

@@ -146,6 +146,21 @@ ToleranceSpec DefaultToleranceFor(const std::string& metric) {
     return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
             .informational = true};
   }
+  if (metric == "bytes_read") {
+    // The compressed-I/O gate (disk-backed scenarios): on-disk bytes
+    // crossing the storage boundary per run. Deterministic given
+    // (encoder, dataset), so the band is tight; one-sided, so a better
+    // encoder passes as IMPROVED while a regression back toward
+    // full-width I/O fails.
+    return {.rel = 0.02, .abs_floor = 0.0, .upper_only = true,
+            .informational = false};
+  }
+  if (metric == "compression_ratio" || metric == "hw_threads") {
+    // Run-shape context: decoded/on-disk byte ratio, and the host's
+    // effective hardware concurrency (machine-dependent by nature).
+    return {.rel = 0.0, .abs_floor = 0.0, .upper_only = false,
+            .informational = true};
+  }
   if (metric == "edges_per_second" || metric == "mb_per_second" ||
       metric == "plain_seconds" || metric == "generate_seconds") {
     // Throughput diagnostics from the ingest scenarios: pure
@@ -224,6 +239,7 @@ std::vector<std::string> GatedMetricsForScenario(const Scenario& scenario) {
                     "num_edges",   "edges_per_sec/partitioning"};
       if (scenario.kind == ScenarioKind::kDiskPartition) {
         candidates.push_back("max_rss_bytes");
+        candidates.push_back("bytes_read");
       }
       break;
     case ScenarioKind::kIngestScan:

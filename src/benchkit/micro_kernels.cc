@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "benchkit/runner.h"
 #include "graph/types.h"
 #include "partition/dense_bitset.h"
 #include "partition/replication_table.h"
@@ -251,6 +252,7 @@ StatusOr<BenchRecord> RunMicroKernels(const Scenario& scenario,
   // before the identity tests even run.
   record.SetMetric("checksum_low32",
                    static_cast<double>(folded_checksum & 0xffffffffULL));
+  AttachHostMetrics(&record);
   return record;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "benchkit/measure.h"
+#include "benchkit/runner.h"
 #include "graph/datasets.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
@@ -232,6 +233,7 @@ StatusOr<BenchRecord> RunObsKernels(const Scenario& scenario,
   // factor, truncated so the double holds it exactly.
   record.SetMetric("checksum_low32",
                    static_cast<double>(folded_checksum & 0xffffffffULL));
+  AttachHostMetrics(&record);
   return record;
 }
 

@@ -1,5 +1,6 @@
 #include "benchkit/runner.h"
 
+#include <thread>
 #include <vector>
 
 #include "benchkit/measure.h"
@@ -36,6 +37,14 @@ void AttachObsMetrics(BenchRecord* record) {
     record->SetMetric("obs/" + row.name + "/p90", row.summary.p90);
     record->SetMetric("obs/" + row.name + "/p99", row.summary.p99);
   }
+}
+
+void AttachHostMetrics(BenchRecord* record) {
+  // hardware_concurrency() may return 0 when undeterminable; report it
+  // as-is (0 reads as "unknown", and the metric is informational).
+  record->SetMetric(
+      "hw_threads",
+      static_cast<double>(std::thread::hardware_concurrency()));
 }
 
 StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
@@ -113,6 +122,7 @@ StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
     }
   }
   AttachObsMetrics(&record);
+  AttachHostMetrics(&record);
   return record;
 }
 

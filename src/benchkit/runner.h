@@ -40,6 +40,15 @@ StatusOr<BenchRecord> RunScenario(const Scenario& scenario,
 /// scenario-scoped.
 void AttachObsMetrics(BenchRecord* record);
 
+/// Stamps host-environment context into `record` as informational
+/// metrics — currently "hw_threads", the effective
+/// std::thread::hardware_concurrency of the machine that produced the
+/// record. Comparing a baseline pinned on one machine against a run on
+/// another is legitimate (the time gates are sized for it); this makes
+/// the shape difference visible in the records instead of leaving the
+/// reader to guess.
+void AttachHostMetrics(BenchRecord* record);
+
 }  // namespace benchkit
 }  // namespace tpsl
 

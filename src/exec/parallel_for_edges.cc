@@ -40,6 +40,72 @@ Status InlineForEdges(EdgeStream& stream, uint32_t batch_size,
   return stream.Health();
 }
 
+/// The block fast path for compressed streams: the reader hands out
+/// raw encoded blocks (a pointer into the mapped file — no copy) and
+/// each worker decodes its block into a private buffer before running
+/// `fn`, so decompression scales with the worker count instead of
+/// serializing on the reading thread. The batch size is the on-disk
+/// block size; the free list bounds in-flight blocks exactly like the
+/// generic path bounds batches. The stream must already be Reset().
+Status BlockForEdges(EdgeStream& stream, BlockEdgeStream& blocks,
+                     ThreadPool& pool, uint32_t workers,
+                     const EdgeBatchFn& fn) {
+  std::vector<std::vector<Edge>> buffers(
+      workers, std::vector<Edge>(blocks.MaxBlockEdges()));
+  std::mutex mutex;
+  std::condition_variable buffer_free_cv;
+  std::vector<uint32_t> free_ids;
+  free_ids.reserve(workers);
+  for (uint32_t id = 0; id < workers; ++id) {
+    free_ids.push_back(id);
+  }
+  Status first_error;
+
+  TaskGroup group(pool);
+  for (;;) {
+    uint32_t id;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      buffer_free_cv.wait(lock, [&] { return !free_ids.empty(); });
+      if (!first_error.ok()) {
+        break;
+      }
+      id = free_ids.back();
+      free_ids.pop_back();
+    }
+    BlockEdgeStream::EncodedBlock block;
+    if (!blocks.NextEncodedBlock(&block)) {
+      std::lock_guard<std::mutex> lock(mutex);
+      free_ids.push_back(id);
+      break;
+    }
+    group.Submit([&, id, block]() {
+      Status status = blocks.DecodeBlock(block, buffers[id].data());
+      if (status.ok()) {
+        try {
+          status = fn(buffers[id].data(), block.num_edges);
+        } catch (...) {
+          status = StatusFromCurrentException();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!status.ok() && first_error.ok()) {
+          first_error = std::move(status);
+        }
+        free_ids.push_back(id);
+      }
+      buffer_free_cv.notify_one();
+    });
+  }
+  group.Wait();
+
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  return stream.Health();
+}
+
 }  // namespace
 
 Status ParallelForEdges(EdgeStream& stream, ThreadPool& pool,
@@ -61,6 +127,14 @@ Status ParallelForEdges(EdgeStream& stream, ThreadPool& pool,
   }
 
   TPSL_RETURN_IF_ERROR(stream.Reset());
+
+  // Compressed block streams skip the Next() funnel entirely: encoded
+  // blocks go to the workers and are decoded there (same edges, same
+  // per-batch grouping as the stream's own block decode, so threads=1
+  // equivalence is preserved by the inline path above, not here).
+  if (auto* blocks = dynamic_cast<BlockEdgeStream*>(&stream)) {
+    return BlockForEdges(stream, *blocks, pool, workers, fn);
+  }
 
   // One reusable buffer per in-flight batch. The free list doubles as
   // the in-flight bound: the reader blocks when all buffers are out.

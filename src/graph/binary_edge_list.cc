@@ -99,6 +99,7 @@ Status BinaryFileEdgeStream::Reset() {
   buffer_filled_ = 0;
   buffer_pos_ = 0;
   pass_delivered_ = 0;
+  passes_ += 1;
   return Status::OK();
 }
 
@@ -144,6 +145,7 @@ size_t BinaryFileEdgeStream::Next(Edge* out, size_t capacity) {
     delivered += n;
   }
   pass_delivered_ += delivered;
+  total_delivered_ += delivered;
   return delivered;
 }
 

@@ -49,6 +49,16 @@ class BinaryFileEdgeStream : public EdgeStream {
   /// smaller graph.
   Status Health() const override { return status_; }
 
+  /// Raw files read exactly 8 bytes per delivered edge.
+  StreamIoStats Io() const override {
+    StreamIoStats io;
+    io.disk_backed = true;
+    io.disk_bytes_this_pass = pass_delivered_ * sizeof(Edge);
+    io.disk_bytes_total = total_delivered_ * sizeof(Edge);
+    io.passes = passes_;
+    return io;
+  }
+
  private:
   BinaryFileEdgeStream(std::FILE* file, uint64_t num_edges,
                        size_t buffer_edges);
@@ -61,6 +71,8 @@ class BinaryFileEdgeStream : public EdgeStream {
   /// Edges delivered since the last Reset(); checked against
   /// num_edges_ at EOF to detect truncation fread cannot see.
   uint64_t pass_delivered_ = 0;
+  uint64_t total_delivered_ = 0;
+  uint64_t passes_ = 0;
   Status status_;
 };
 

@@ -9,6 +9,26 @@
 
 namespace tpsl {
 
+/// Byte-level I/O accounting for storage-backed streams. Decoded edges
+/// are always 8 bytes each, but the bytes that actually cross the
+/// storage boundary differ once files are block-compressed — and disk
+/// bandwidth, not decoded volume, is what bounds an out-of-core run.
+/// `disk_bytes_*` therefore count on-disk (possibly compressed) bytes;
+/// wrappers (prefetchers, throttles) forward their inner stream's
+/// account instead of re-deriving it from delivered edge counts.
+struct StreamIoStats {
+  /// False for in-memory streams; their disk counters stay zero.
+  bool disk_backed = false;
+  /// On-disk bytes consumed since the last Reset(). Updated at batch
+  /// (or block) granularity, so mid-pass reads lag delivery slightly;
+  /// after a full pass the value equals the file bytes of that pass.
+  uint64_t disk_bytes_this_pass = 0;
+  /// On-disk bytes consumed across all passes.
+  uint64_t disk_bytes_total = 0;
+  /// Number of Reset() calls (≈ streaming passes started).
+  uint64_t passes = 0;
+};
+
 /// Sequential, restartable edge stream — the out-of-core access model
 /// of the paper. A stream can be consumed any number of times; each
 /// pass starts with Reset() and pulls batches with Next() until it
@@ -40,6 +60,45 @@ class EdgeStream {
   /// stream distinguishable from EOF. ForEachEdge checks it after
   /// every pass; consumers with manual Next() loops must do the same.
   virtual Status Health() const { return Status::OK(); }
+
+  /// I/O accounting for this stream (see StreamIoStats). In-memory
+  /// streams keep the default all-zero stats.
+  virtual StreamIoStats Io() const { return {}; }
+};
+
+/// Optional capability interface for streams whose backing file is
+/// made of independently decodable compressed blocks. A parallel
+/// driver (exec/ParallelForEdges) can pull raw encoded blocks here and
+/// decode them in worker threads, so the decompression cost scales
+/// with the worker count instead of serializing on the reader.
+///
+/// NextEncodedBlock() shares the pass cursor with Next(): a pass uses
+/// one access mode or the other, never both, and either is restarted
+/// by Reset(). DecodeBlock() must be safe to call concurrently from
+/// multiple threads on distinct blocks.
+class BlockEdgeStream {
+ public:
+  /// A view of one encoded block (header + payload) inside the backing
+  /// file. Valid until the next Reset() of the owning stream.
+  struct EncodedBlock {
+    const void* data = nullptr;
+    size_t bytes = 0;
+    uint32_t num_edges = 0;
+  };
+
+  virtual ~BlockEdgeStream() = default;
+
+  /// Upper bound on edges per block — the decode-buffer size workers
+  /// must provision.
+  virtual uint32_t MaxBlockEdges() const = 0;
+
+  /// Hands out the next encoded block of the current pass; returns
+  /// false at end of stream (check the stream's Health() afterwards).
+  virtual bool NextEncodedBlock(EncodedBlock* out) = 0;
+
+  /// Decodes `block` into `out` (block.num_edges edges), verifying the
+  /// block checksum. Thread-safe.
+  virtual Status DecodeBlock(const EncodedBlock& block, Edge* out) const = 0;
 };
 
 /// Convenience: performs one full pass, invoking `fn(edge)` per edge.

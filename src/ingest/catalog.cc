@@ -9,6 +9,7 @@
 
 #include "graph/types.h"
 #include "ingest/checksum.h"
+#include "io/mmap_edge_stream.h"
 
 namespace tpsl {
 namespace ingest {
@@ -117,9 +118,13 @@ JsonValue CatalogEntryToJson(const CatalogEntry& entry) {
   // Seeds round-trip through a JSON double, so the catalog contract is
   // seeds <= 2^53 (enforced on read).
   json.Set("seed", JsonValue::Number(static_cast<double>(entry.recipe.seed)));
+  json.Set("format_version",
+           JsonValue::Number(static_cast<double>(entry.format_version)));
   json.Set("expected_edges",
            JsonValue::Number(static_cast<double>(entry.expected_edges)));
   json.Set("expected_checksum", JsonValue::String(entry.expected_checksum));
+  json.Set("expected_file_checksum",
+           JsonValue::String(entry.expected_file_checksum));
   return json;
 }
 
@@ -144,12 +149,23 @@ StatusOr<CatalogEntry> CatalogEntryFromJson(const JsonValue& json) {
       const double seed,
       RequireIntegral(json, "seed", 0, 9007199254740992.0));
   entry.recipe.seed = static_cast<uint64_t>(seed);
+  // Pre-format catalogs have neither field: raw encoding, no physical
+  // pin (for raw the logical pin already covers the file bytes).
+  if (json.Find("format_version") != nullptr) {
+    TPSL_ASSIGN_OR_RETURN(const double format_version,
+                          RequireIntegral(json, "format_version", 0, 1));
+    entry.format_version = static_cast<uint32_t>(format_version);
+  }
   TPSL_ASSIGN_OR_RETURN(
       const double expected_edges,
       RequireIntegral(json, "expected_edges", 0, 9007199254740992.0));
   entry.expected_edges = static_cast<uint64_t>(expected_edges);
   TPSL_ASSIGN_OR_RETURN(entry.expected_checksum,
                         RequireString(json, "expected_checksum"));
+  if (json.Find("expected_file_checksum") != nullptr) {
+    TPSL_ASSIGN_OR_RETURN(entry.expected_file_checksum,
+                          RequireString(json, "expected_file_checksum"));
+  }
   if (entry.recipe.name.empty() ||
       entry.recipe.name.find('/') != std::string::npos) {
     return Status::InvalidArgument("dataset name '" + entry.recipe.name +
@@ -221,9 +237,11 @@ namespace {
 
 struct Manifest {
   DatasetRecipe recipe;
+  uint32_t format_version = 0;
   uint64_t num_edges = 0;
   uint64_t file_bytes = 0;
-  std::string checksum;
+  std::string checksum;       // logical (decoded-edge) digest
+  std::string file_checksum;  // on-disk byte digest
 };
 
 StatusOr<Manifest> LoadManifest(const std::string& path) {
@@ -248,8 +266,10 @@ StatusOr<Manifest> LoadManifest(const std::string& path) {
       RequireIntegral(json, "file_bytes", 0, 9007199254740992.0));
   Manifest manifest;
   manifest.recipe = entry.recipe;
+  manifest.format_version = entry.format_version;
   manifest.num_edges = entry.expected_edges;
   manifest.checksum = entry.expected_checksum;
+  manifest.file_checksum = entry.expected_file_checksum;
   manifest.file_bytes = static_cast<uint64_t>(file_bytes);
   return manifest;
 }
@@ -257,8 +277,10 @@ StatusOr<Manifest> LoadManifest(const std::string& path) {
 Status SaveManifest(const Manifest& manifest, const std::string& path) {
   CatalogEntry entry;
   entry.recipe = manifest.recipe;
+  entry.format_version = manifest.format_version;
   entry.expected_edges = manifest.num_edges;
   entry.expected_checksum = manifest.checksum;
+  entry.expected_file_checksum = manifest.file_checksum;
   JsonValue json = CatalogEntryToJson(entry);
   json.Set("ingest_manifest_version", JsonValue::Number(kManifestVersion));
   json.Set("file_bytes",
@@ -273,9 +295,17 @@ bool CacheIsFresh(const CatalogEntry& entry, const Manifest& manifest,
   if (manifest.recipe != entry.recipe) {
     return false;  // recipe drift: regenerate
   }
-  if (actual_file_bytes == 0 || actual_file_bytes != manifest.file_bytes ||
-      actual_file_bytes != manifest.num_edges * sizeof(Edge)) {
+  if (manifest.format_version != entry.format_version) {
+    return false;  // cached in the other encoding: re-encode
+  }
+  if (actual_file_bytes == 0 || actual_file_bytes != manifest.file_bytes) {
     return false;  // missing or truncated file
+  }
+  // Raw files have no framing, so size implies edge count; compressed
+  // sizes are format-dependent and covered by the file_bytes equality.
+  if (entry.format_version == 0 &&
+      actual_file_bytes != manifest.num_edges * sizeof(Edge)) {
+    return false;
   }
   if (entry.expected_edges != 0 &&
       entry.expected_edges != manifest.num_edges) {
@@ -284,6 +314,10 @@ bool CacheIsFresh(const CatalogEntry& entry, const Manifest& manifest,
   if (!entry.expected_checksum.empty() &&
       entry.expected_checksum != manifest.checksum) {
     return false;  // stale pin
+  }
+  if (!entry.expected_file_checksum.empty() &&
+      entry.expected_file_checksum != manifest.file_checksum) {
+    return false;  // stale physical pin
   }
   return true;
 }
@@ -305,6 +339,7 @@ StatusOr<EnsureResult> EnsureDataset(const CatalogEntry& entry,
     result.num_edges = manifest_or->num_edges;
     result.file_bytes = manifest_or->file_bytes;
     result.checksum = manifest_or->checksum;
+    result.file_checksum = manifest_or->file_checksum;
     return result;
   }
 
@@ -314,8 +349,12 @@ StatusOr<EnsureResult> EnsureDataset(const CatalogEntry& entry,
     return Status::IoError("cannot create dataset dir " + dir + ": " +
                            ec.message());
   }
-  TPSL_ASSIGN_OR_RETURN(const GenerateFileResult generated,
-                        GenerateDatasetFile(entry.recipe, path, chunk_edges));
+  TPSL_ASSIGN_OR_RETURN(
+      const GenerateFileResult generated,
+      GenerateDatasetFile(entry.recipe, path, chunk_edges,
+                          entry.format_version == 1
+                              ? io::EdgeFileFormat::kCompressedBlocks
+                              : io::EdgeFileFormat::kRaw));
 
   // A fresh generation that contradicts the pin means the generator's
   // behavior drifted — the one failure mode a seed-deterministic
@@ -335,12 +374,22 @@ StatusOr<EnsureResult> EnsureDataset(const CatalogEntry& entry,
         entry.expected_checksum +
         " (generator drift — re-pin with tools/ingest --pin if intended)");
   }
+  if (!entry.expected_file_checksum.empty() &&
+      generated.file_checksum != entry.expected_file_checksum) {
+    return Status::FailedPrecondition(
+        "dataset '" + entry.recipe.name + "': generated file checksum " +
+        generated.file_checksum + " but the catalog pins " +
+        entry.expected_file_checksum +
+        " (encoder drift — re-pin with tools/ingest --pin if intended)");
+  }
 
   Manifest manifest;
   manifest.recipe = entry.recipe;
+  manifest.format_version = entry.format_version;
   manifest.num_edges = generated.num_edges;
   manifest.file_bytes = generated.file_bytes;
   manifest.checksum = generated.checksum;
+  manifest.file_checksum = generated.file_checksum;
   TPSL_RETURN_IF_ERROR(SaveManifest(manifest, manifest_path));
 
   EnsureResult result;
@@ -349,9 +398,55 @@ StatusOr<EnsureResult> EnsureDataset(const CatalogEntry& entry,
   result.num_edges = generated.num_edges;
   result.file_bytes = generated.file_bytes;
   result.checksum = generated.checksum;
+  result.file_checksum = generated.file_checksum;
   result.generate_seconds = generated.generate_seconds;
   return result;
 }
+
+namespace {
+
+/// The compressed verify: physical digest against the file pin, then a
+/// full decode — exercising every block checksum — with the decoded
+/// count and digest checked against the logical pins.
+Status VerifyCompressedDataset(const CatalogEntry& entry,
+                               const std::string& path) {
+  if (!entry.expected_file_checksum.empty()) {
+    TPSL_ASSIGN_OR_RETURN(const std::string file_checksum,
+                          ChecksumFile(path));
+    if (file_checksum != entry.expected_file_checksum) {
+      return Status::IoError("dataset '" + entry.recipe.name +
+                             "': file checksum " + file_checksum +
+                             " does not match pinned " +
+                             entry.expected_file_checksum +
+                             " (corrupt file?)");
+    }
+  }
+  io::MmapEdgeStream::Options options;
+  options.decode_ahead = false;
+  TPSL_ASSIGN_OR_RETURN(std::unique_ptr<io::MmapEdgeStream> stream,
+                        io::MmapEdgeStream::Open(path, options));
+  Fnv1a64 hash;
+  uint64_t count = 0;
+  TPSL_RETURN_IF_ERROR(ForEachEdge(*stream, [&](const Edge& edge) {
+    hash.Update(&edge, sizeof(edge));
+    ++count;
+  }));
+  if (entry.expected_edges != 0 && count != entry.expected_edges) {
+    return Status::IoError("dataset '" + entry.recipe.name + "': decoded " +
+                           std::to_string(count) + " edges, expected " +
+                           std::to_string(entry.expected_edges));
+  }
+  const std::string checksum = FormatChecksum(hash.digest());
+  if (checksum != entry.expected_checksum) {
+    return Status::IoError("dataset '" + entry.recipe.name +
+                           "': decoded checksum " + checksum +
+                           " does not match pinned " +
+                           entry.expected_checksum + " (corrupt file?)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status VerifyDataset(const CatalogEntry& entry, const std::string& dir) {
   if (entry.expected_checksum.empty()) {
@@ -360,6 +455,9 @@ Status VerifyDataset(const CatalogEntry& entry, const std::string& dir) {
         "' has no pinned checksum; pin it with tools/ingest --pin");
   }
   const std::string path = DatasetPath(dir, entry.recipe.name);
+  if (entry.format_version == 1) {
+    return VerifyCompressedDataset(entry, path);
+  }
   if (entry.expected_edges != 0 &&
       FileSizeOrZero(path) != entry.expected_edges * sizeof(Edge)) {
     return Status::IoError("dataset '" + entry.recipe.name + "': " + path +

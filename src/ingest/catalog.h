@@ -18,10 +18,23 @@ namespace ingest {
 /// reorder) fails get-or-generate loudly instead of silently shifting
 /// every disk-backed benchmark. Empty expectations mean "not pinned
 /// yet"; `tools/ingest --pin` fills them in.
+/// The checksum contract is two-level. `expected_checksum` is the
+/// *logical* pin: FNV-1a over the decoded (uint32, uint32) edge bytes,
+/// independent of on-disk encoding — re-encoding a dataset in another
+/// format never moves it (for raw files it coincides with the file
+/// digest, which is why pre-format catalogs keep working unchanged).
+/// `expected_file_checksum` is the *physical* pin over the on-disk
+/// bytes of the pinned format, catching bit-rot in the compressed file
+/// itself.
 struct CatalogEntry {
   DatasetRecipe recipe;
-  uint64_t expected_edges = 0;       // 0 = unpinned
-  std::string expected_checksum;     // "" = unpinned
+  /// On-disk encoding this entry is pinned in: 0 = raw u32 pairs,
+  /// 1 = compressed edge blocks (io/edge_block_format.h). Absent in
+  /// pre-format catalog JSON, which defaults to raw.
+  uint32_t format_version = 0;
+  uint64_t expected_edges = 0;         // 0 = unpinned
+  std::string expected_checksum;       // logical; "" = unpinned
+  std::string expected_file_checksum;  // physical; "" = unpinned
 
   bool operator==(const CatalogEntry& other) const = default;
 };
@@ -51,8 +64,9 @@ struct EnsureResult {
   std::string path;          // the dataset file
   bool generated = false;    // false = served from cache
   uint64_t num_edges = 0;
-  uint64_t file_bytes = 0;
-  std::string checksum;
+  uint64_t file_bytes = 0;        // on-disk (compressed) bytes
+  std::string checksum;           // logical (decoded-edge) digest
+  std::string file_checksum;      // on-disk byte digest
   double generate_seconds = 0.0;  // 0 when cached
 };
 
@@ -68,9 +82,13 @@ StatusOr<EnsureResult> EnsureDataset(const CatalogEntry& entry,
                                      const std::string& dir,
                                      size_t chunk_edges = 1 << 20);
 
-/// Fully re-checksums the on-disk file against the entry's pinned
-/// checksum (get-or-generate trusts manifests for speed; this does
-/// not). Unpinned entries and missing files are errors.
+/// Fully re-reads the on-disk file against the entry's pins
+/// (get-or-generate trusts manifests for speed; this does not).
+/// Raw files are re-checksummed byte-for-byte. Compressed files are
+/// verified at both levels: the file digest against the physical pin,
+/// then a full decode — every block checksum — with the decoded edge
+/// count and digest checked against the logical pins. Unpinned entries
+/// and missing files are errors.
 Status VerifyDataset(const CatalogEntry& entry, const std::string& dir);
 
 }  // namespace ingest

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "io/edge_file.h"
 #include "util/status.h"
 
 namespace tpsl {
@@ -37,8 +38,13 @@ bool IsStreamableKind(const std::string& kind);
 
 struct GenerateFileResult {
   uint64_t num_edges = 0;
-  uint64_t file_bytes = 0;
-  std::string checksum;  // "fnv1a64:<hex>", computed while writing
+  uint64_t file_bytes = 0;     // on-disk bytes (compressed when blocks)
+  /// Logical checksum, "fnv1a64:<hex>" over the decoded edge bytes —
+  /// format-independent, so re-encoding a dataset never moves this pin.
+  std::string checksum;
+  /// Checksum over the on-disk file bytes. Equal to `checksum` for the
+  /// raw format (the file *is* the edge bytes); differs for compressed.
+  std::string file_checksum;
   /// Size of the single chunk buffer the writer held — the bound on
   /// generation memory regardless of dataset size (tests assert on
   /// this, and on the chunk deliveries never exceeding it).
@@ -46,15 +52,17 @@ struct GenerateFileResult {
   double generate_seconds = 0.0;
 };
 
-/// Streams the recipe's edges straight to `path` as a binary edge
-/// list (the repo-wide raw (uint32, uint32) format), using one chunk
-/// buffer of `chunk_edges` edges. Writes to `path + ".tmp"` and
-/// renames on success, so a crashed or failed generation never leaves
-/// a plausible-looking partial dataset behind.
-StatusOr<GenerateFileResult> GenerateDatasetFile(const DatasetRecipe& recipe,
-                                                 const std::string& path,
-                                                 size_t chunk_edges = 1
-                                                                      << 20);
+/// Streams the recipe's edges straight to `path`, using one chunk
+/// buffer of `chunk_edges` edges. `format` picks the on-disk encoding:
+/// the raw (uint32, uint32) edge list, or the compressed edge-block
+/// format (io/edge_block_format.h) through the double-buffered async
+/// CompressedEdgeWriter. Writes to `path + ".tmp"` and renames on
+/// success, so a crashed or failed generation never leaves a
+/// plausible-looking partial dataset behind.
+StatusOr<GenerateFileResult> GenerateDatasetFile(
+    const DatasetRecipe& recipe, const std::string& path,
+    size_t chunk_edges = 1 << 20,
+    io::EdgeFileFormat format = io::EdgeFileFormat::kRaw);
 
 }  // namespace ingest
 }  // namespace tpsl

@@ -117,6 +117,7 @@ void PrefetchingEdgeStream::WorkerLoop() {
       std::lock_guard<std::mutex> lock(mutex_);
       slot.filled = filled;
       slot.ready = true;
+      slot.inner_io = inner_->Io();
       if (eof) {
         producer_done_ = true;
         // An inner failure looks like EOF (Next() == 0); capture its
@@ -141,6 +142,7 @@ Status PrefetchingEdgeStream::Reset() {
   consume_pos_ = 0;
   consumer_holds_slot_ = false;
   bytes_this_pass_ = 0;
+  drained_inner_io_.disk_bytes_this_pass = 0;
   passes_ += 1;
   TPSL_RETURN_IF_ERROR(inner_->Reset());
   StartWorker();
@@ -186,6 +188,7 @@ size_t PrefetchingEdgeStream::Next(Edge* out, size_t capacity) {
         std::lock_guard<std::mutex> lock(mutex_);
         slot.ready = false;
         slot.filled = 0;
+        drained_inner_io_ = slot.inner_io;
         done = producer_done_;
       }
       slot_free_cv_.notify_all();
@@ -206,6 +209,20 @@ size_t PrefetchingEdgeStream::Next(Edge* out, size_t capacity) {
   bytes_read_ += delivered * sizeof(Edge);
   bytes_this_pass_ += delivered * sizeof(Edge);
   return delivered;
+}
+
+StreamIoStats PrefetchingEdgeStream::Io() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StreamIoStats io;
+  if (!worker_running_ || producer_done_) {
+    // No fill in flight (idle, or the pass hit EOF): the inner stream
+    // is quiescent, read the exact account.
+    io = inner_->Io();
+  } else {
+    io = drained_inner_io_;
+  }
+  io.passes = passes_;
+  return io;
 }
 
 Status PrefetchingEdgeStream::Health() const {

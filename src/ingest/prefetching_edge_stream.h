@@ -50,6 +50,14 @@ class PrefetchingEdgeStream : public EdgeStream {
   uint64_t NumEdgesHint() const override { return inner_->NumEdgesHint(); }
   Status Health() const override;
 
+  /// Forwards the inner stream's on-disk byte account (compressed
+  /// bytes for block-compressed files). While a pass is in flight the
+  /// inner stream is worker-owned, so the consumer sees the snapshot
+  /// taken when the last fully drained slot was filled — consistent
+  /// with what has been delivered, at slot granularity. Once the pass
+  /// completes the account is exact.
+  StreamIoStats Io() const override;
+
   /// Total bytes delivered to the consumer across all passes.
   uint64_t bytes_read() const { return bytes_read_; }
   /// Bytes delivered since the last Reset().
@@ -64,6 +72,8 @@ class PrefetchingEdgeStream : public EdgeStream {
     std::vector<Edge> edges;
     size_t filled = 0;
     bool ready = false;
+    /// Inner Io() snapshot taken when the slot was filled.
+    StreamIoStats inner_io;
   };
 
   void StartWorker();
@@ -91,6 +101,8 @@ class PrefetchingEdgeStream : public EdgeStream {
   uint64_t bytes_read_ = 0;
   uint64_t bytes_this_pass_ = 0;
   uint64_t passes_ = 0;
+  /// Inner Io() as of the last slot the consumer fully drained.
+  StreamIoStats drained_inner_io_;
 };
 
 }  // namespace ingest

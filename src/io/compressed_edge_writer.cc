@@ -1,0 +1,173 @@
+#include "io/compressed_edge_writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace tpsl {
+namespace io {
+
+StatusOr<std::unique_ptr<CompressedEdgeWriter>> CompressedEdgeWriter::Open(
+    const std::string& path, const Options& options) {
+  if (options.block_edges == 0 || options.block_edges > kMaxBlockEdges) {
+    return Status::InvalidArgument("CompressedEdgeWriter: bad block size");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("open for write failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::unique_ptr<CompressedEdgeWriter> writer(
+      new CompressedEdgeWriter(file, options));
+
+  uint8_t header[kEdgeFileHeaderBytes];
+  EdgeFileHeader file_header;
+  file_header.max_block_edges = options.block_edges;
+  EncodeFileHeader(file_header, header);
+  if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header)) {
+    std::lock_guard<std::mutex> lock(writer->mutex_);
+    writer->status_ = Status::IoError("write failed: " + path + ": " +
+                                      std::strerror(errno));
+  }
+  writer->bytes_written_ = sizeof(header);
+  return writer;
+}
+
+CompressedEdgeWriter::CompressedEdgeWriter(std::FILE* file,
+                                           const Options& options)
+    : file_(file), options_(options) {
+  block_.resize(options_.block_edges);
+  const size_t n_buffers = options_.write_buffers < 2 ? 2 : options_.write_buffers;
+  buffers_.resize(n_buffers);
+  for (size_t i = 0; i < n_buffers; ++i) {
+    buffers_[i].resize(MaxEncodedBlockBytes(options_.block_edges));
+    free_buffers_.push_back(i);
+  }
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+CompressedEdgeWriter::~CompressedEdgeWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) {
+    writer_.join();
+  }
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void CompressedEdgeWriter::WriterLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ with a drained queue
+      }
+      pending = queue_.front();
+      queue_.pop_front();
+    }
+    const bool ok = std::fwrite(buffers_[pending.buffer].data(), 1,
+                                pending.bytes, file_) == pending.bytes;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!ok && status_.ok()) {
+        status_ = Status::IoError(std::string("block write failed: ") +
+                                  std::strerror(errno));
+      }
+      free_buffers_.push_back(pending.buffer);
+    }
+    free_cv_.notify_all();
+  }
+}
+
+size_t CompressedEdgeWriter::AcquireBuffer() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  free_cv_.wait(lock, [this] { return !free_buffers_.empty(); });
+  const size_t buffer = free_buffers_.back();
+  free_buffers_.pop_back();
+  return buffer;
+}
+
+void CompressedEdgeWriter::FlushBlock() {
+  if (block_fill_ == 0) {
+    return;
+  }
+  const size_t buffer = AcquireBuffer();
+  const size_t bytes =
+      EncodeEdgeBlock(block_.data(), block_fill_, buffers_[buffer].data());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(Pending{buffer, bytes});
+  }
+  work_cv_.notify_all();
+  bytes_written_ += bytes;
+  block_fill_ = 0;
+}
+
+void CompressedEdgeWriter::Append(const Edge* edges, size_t count) {
+  if (finished_ || !Health().ok()) {
+    return;
+  }
+  edge_checksum_ = Fnv1a64(edges, count * sizeof(Edge), edge_checksum_);
+  edges_written_ += count;
+  while (count > 0) {
+    const size_t room = block_.size() - block_fill_;
+    const size_t take = count < room ? count : room;
+    std::memcpy(block_.data() + block_fill_, edges, take * sizeof(Edge));
+    block_fill_ += take;
+    edges += take;
+    count -= take;
+    if (block_fill_ == block_.size()) {
+      FlushBlock();
+    }
+  }
+}
+
+Status CompressedEdgeWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "CompressedEdgeWriter: Finish() called twice");
+  }
+  finished_ = true;
+  FlushBlock();
+  // Drain the queue and park the writer thread before the synchronous
+  // trailer write: blocks and trailer must land in order.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  writer_.join();
+
+  EdgeFileTrailer trailer;
+  trailer.num_edges = edges_written_;
+  trailer.edge_checksum = edge_checksum_;
+  uint8_t bytes[kEdgeFileTrailerBytes];
+  EncodeFileTrailer(trailer, bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::fwrite(bytes, 1, sizeof(bytes), file_) != sizeof(bytes) &&
+      status_.ok()) {
+    status_ = Status::IoError(std::string("trailer write failed: ") +
+                              std::strerror(errno));
+  }
+  bytes_written_ += sizeof(bytes);
+  if (std::fclose(file_) != 0 && status_.ok()) {
+    status_ = Status::IoError(std::string("close failed: ") +
+                              std::strerror(errno));
+  }
+  file_ = nullptr;
+  return status_;
+}
+
+Status CompressedEdgeWriter::Health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+}  // namespace io
+}  // namespace tpsl

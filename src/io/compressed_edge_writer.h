@@ -1,0 +1,114 @@
+#ifndef TPSL_IO_COMPRESSED_EDGE_WRITER_H_
+#define TPSL_IO_COMPRESSED_EDGE_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/types.h"
+#include "io/edge_block_format.h"
+#include "util/status.h"
+
+namespace tpsl {
+namespace io {
+
+/// Streaming writer for the compressed edge-block format
+/// (io/edge_block_format.h). Appends edges, cuts a block whenever the
+/// accumulation buffer fills, and hands the encoded bytes to a
+/// background thread for fwrite — so the producer encodes the next
+/// block while the previous one is in flight to disk (double
+/// buffering). Finish() flushes the tail block, writes the trailer,
+/// and closes the file.
+///
+/// Write/close failures latch into sticky Health(); Append() becomes a
+/// no-op once unhealthy and Finish() reports the first error. The
+/// running FNV-1a digest over the decoded edge bytes (the catalog's
+/// logical checksum) is maintained inline and sealed into the trailer.
+class CompressedEdgeWriter {
+ public:
+  struct Options {
+    uint32_t block_edges = kDefaultBlockEdges;
+    /// Encoded buffers in rotation between producer and writer thread.
+    /// 2 = classic double buffering.
+    size_t write_buffers = 2;
+  };
+
+  static StatusOr<std::unique_ptr<CompressedEdgeWriter>> Open(
+      const std::string& path, const Options& options);
+  static StatusOr<std::unique_ptr<CompressedEdgeWriter>> Open(
+      const std::string& path) {
+    return Open(path, Options());
+  }
+
+  /// Joins the writer thread and closes the file. Prefer calling
+  /// Finish() explicitly: a file abandoned without Finish() has no
+  /// trailer and will not open.
+  ~CompressedEdgeWriter();
+
+  CompressedEdgeWriter(const CompressedEdgeWriter&) = delete;
+  CompressedEdgeWriter& operator=(const CompressedEdgeWriter&) = delete;
+
+  void Append(const Edge* edges, size_t count);
+  void Append(const std::vector<Edge>& edges) {
+    Append(edges.data(), edges.size());
+  }
+
+  /// Flushes, writes the trailer, closes. Exactly-once; returns the
+  /// sticky health (first error wins).
+  Status Finish();
+
+  /// Sticky writer health: open/write/close errors observed so far.
+  Status Health() const;
+
+  uint64_t edges_written() const { return edges_written_; }
+  /// Compressed bytes (header + blocks so far; after Finish() this is
+  /// the final file size including the trailer).
+  uint64_t bytes_written() const { return bytes_written_; }
+  /// FNV-1a 64 digest of the decoded edge bytes appended so far.
+  uint64_t edge_checksum() const { return edge_checksum_; }
+
+ private:
+  CompressedEdgeWriter(std::FILE* file, const Options& options);
+
+  void FlushBlock();
+  void WriterLoop();
+  /// Blocks until a free encode buffer is available; returns its index.
+  size_t AcquireBuffer();
+
+  std::FILE* file_;
+  const Options options_;
+
+  std::vector<Edge> block_;  // accumulation buffer (decoded edges)
+  size_t block_fill_ = 0;
+
+  uint64_t edges_written_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t edge_checksum_ = kFnv1a64OffsetBasis;
+  bool finished_ = false;
+
+  // Producer/writer-thread handshake.
+  struct Pending {
+    size_t buffer;
+    size_t bytes;
+  };
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable free_cv_;
+  std::vector<std::vector<uint8_t>> buffers_;
+  std::vector<size_t> free_buffers_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  Status status_;  // sticky; guarded by mutex_
+  std::thread writer_;
+};
+
+}  // namespace io
+}  // namespace tpsl
+
+#endif  // TPSL_IO_COMPRESSED_EDGE_WRITER_H_

@@ -1,0 +1,134 @@
+#ifndef TPSL_IO_EDGE_BLOCK_FORMAT_H_
+#define TPSL_IO_EDGE_BLOCK_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace tpsl {
+namespace io {
+
+/// The compressed on-disk edge format ("TPSL edge blocks, format 1").
+///
+/// The file is a sequence of fixed-capacity blocks, each independently
+/// decodable so readers can mmap the file and decode blocks in worker
+/// threads. Within a block the two endpoint columns are stored
+/// separately; each column picks, per block, the cheaper of two
+/// sort-free encodings:
+///
+///   - raw:   values bit-packed at the column's max bit width, or
+///   - delta: zigzag(value - previous value) bit-packed at the max
+///            zigzag width (previous resets to 0 at the block start,
+///            which keeps blocks self-contained).
+///
+/// Bit widths are per block per column ("block varint"): locally
+/// clustered ids cost only as many bits as their local range needs,
+/// while a worst-case block degrades to ≤33 bits per value. Encoding
+/// is a single streaming pass; decoding is a fixed-width unpack plus
+/// an optional prefix sum — no per-byte branch chains.
+///
+/// File layout:
+///   FileHeader   (24 bytes)  magic "TPSLEBF1", version, block size
+///   Block*                   BlockHeader (24 bytes) + payload
+///   FileTrailer  (32 bytes)  magic "TPSLEOF1", edge count + checksum
+///
+/// Every block carries its edge count and a fast word-at-a-time
+/// checksum of its payload (verified on decode — corruption never
+/// delivers edges silently). The trailer (rather than a patched
+/// header) carries the
+/// file totals, so writers are pure-append and a truncated file is
+/// detected at open. The trailer's `edge_checksum` is FNV-1a over the
+/// *decoded* Edge bytes — the same digest the ingest catalog pins for
+/// raw files, which is what makes "byte-identical edge delivery"
+/// checkable without decompressing twice.
+
+inline constexpr char kEdgeFileMagic[8] = {'T', 'P', 'S', 'L',
+                                           'E', 'B', 'F', '1'};
+inline constexpr char kEdgeFileTrailerMagic[8] = {'T', 'P', 'S', 'L',
+                                                  'E', 'O', 'F', '1'};
+inline constexpr uint32_t kEdgeFileVersion = 1;
+
+/// Default block capacity: 16Ki edges = 128 KiB decoded. Large enough
+/// that per-block headers and width round-up are noise, small enough
+/// that per-worker decode buffers stay cache-friendly.
+inline constexpr uint32_t kDefaultBlockEdges = 1u << 14;
+/// Spill files use smaller blocks: assignments fan out over k files,
+/// so per-partition accumulation buffers stay modest.
+inline constexpr uint32_t kSpillBlockEdges = 1u << 12;
+/// Upper bound accepted from headers (corruption guard).
+inline constexpr uint32_t kMaxBlockEdges = 1u << 24;
+
+inline constexpr size_t kEdgeFileHeaderBytes = 24;
+inline constexpr size_t kEdgeBlockHeaderBytes = 24;
+inline constexpr size_t kEdgeFileTrailerBytes = 32;
+
+struct EdgeFileHeader {
+  uint32_t version = kEdgeFileVersion;
+  uint32_t max_block_edges = kDefaultBlockEdges;
+};
+
+struct EdgeFileTrailer {
+  uint64_t num_edges = 0;
+  /// FNV-1a 64 over the decoded Edge bytes of the whole file.
+  uint64_t edge_checksum = 0;
+};
+
+/// Per-column encoding mode.
+inline constexpr uint8_t kColumnModeRaw = 0;
+inline constexpr uint8_t kColumnModeZigZagDelta = 1;
+/// Max packed width: zigzag of a delta in ±(2^32 - 1) needs 33 bits.
+inline constexpr uint8_t kMaxColumnWidthBits = 33;
+
+struct EdgeBlockHeader {
+  uint32_t num_edges = 0;
+  uint32_t payload_bytes = 0;
+  /// Word-at-a-time 64-bit digest of the payload bytes (Murmur64A
+  /// construction — corruption detection, deliberately not FNV: the
+  /// byte-serial FNV multiply chain would dominate decode).
+  uint64_t checksum = 0;
+  uint8_t first_mode = kColumnModeRaw;
+  uint8_t first_width = 0;
+  uint8_t second_mode = kColumnModeRaw;
+  uint8_t second_width = 0;
+};
+
+/// FNV-1a 64-bit, resumable via `seed` (pass a previous digest to
+/// continue hashing). Matches the digest the ingest catalog pins.
+inline constexpr uint64_t kFnv1a64OffsetBasis = 0xcbf29ce484222325ULL;
+uint64_t Fnv1a64(const void* data, size_t bytes,
+                 uint64_t seed = kFnv1a64OffsetBasis);
+
+void EncodeFileHeader(const EdgeFileHeader& header, uint8_t* out);
+Status DecodeFileHeader(const uint8_t* data, size_t bytes,
+                        EdgeFileHeader* out);
+
+void EncodeFileTrailer(const EdgeFileTrailer& trailer, uint8_t* out);
+Status DecodeFileTrailer(const uint8_t* data, size_t bytes,
+                         EdgeFileTrailer* out);
+
+/// Worst-case encoded size (block header included) for `num_edges`
+/// edges — the buffer size writers must provision per block.
+size_t MaxEncodedBlockBytes(size_t num_edges);
+
+/// Encodes `count` edges (1 ≤ count) as one block — header plus
+/// payload — into `out`, which must hold MaxEncodedBlockBytes(count).
+/// Returns the encoded size in bytes. Thread-safe.
+size_t EncodeEdgeBlock(const Edge* edges, size_t count, uint8_t* out);
+
+/// Parses and validates a block header sitting at `data` with `bytes`
+/// of file remaining; on success the full block (header + payload)
+/// occupies kEdgeBlockHeaderBytes + out->payload_bytes.
+Status DecodeBlockHeader(const uint8_t* data, size_t bytes,
+                         EdgeBlockHeader* out);
+
+/// Verifies the payload checksum and decodes `header.num_edges` edges
+/// from `payload` into `out`. Thread-safe.
+Status DecodeBlockPayload(const EdgeBlockHeader& header,
+                          const uint8_t* payload, Edge* out);
+
+}  // namespace io
+}  // namespace tpsl
+
+#endif  // TPSL_IO_EDGE_BLOCK_FORMAT_H_

@@ -1,0 +1,373 @@
+#include "io/mmap_edge_stream.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tpsl {
+namespace io {
+
+StatusOr<std::unique_ptr<MmapEdgeStream>> MmapEdgeStream::Open(
+    const std::string& path, const Options& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IoError("stat failed: " + path + ": " +
+                                          std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < kEdgeFileHeaderBytes + kEdgeFileTrailerBytes) {
+    ::close(fd);
+    return Status::IoError("not a compressed edge file (too small): " + path);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (map == MAP_FAILED) {
+    return Status::IoError("mmap failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+#if defined(POSIX_MADV_SEQUENTIAL)
+  ::posix_madvise(map, size, POSIX_MADV_SEQUENTIAL);
+#endif
+
+  std::unique_ptr<MmapEdgeStream> stream(new MmapEdgeStream());
+  stream->path_ = path;
+  stream->options_ = options;
+  stream->base_ = static_cast<const uint8_t*>(map);
+  stream->file_bytes_ = size;
+  stream->blocks_end_ = size - kEdgeFileTrailerBytes;
+
+  Status status = DecodeFileHeader(stream->base_, size, &stream->header_);
+  if (status.ok()) {
+    status = DecodeFileTrailer(stream->base_ + stream->blocks_end_,
+                               kEdgeFileTrailerBytes, &stream->trailer_);
+  }
+  if (!status.ok()) {
+    return Status(status.code(), path + ": " + status.message());
+  }
+  for (Slot& slot : stream->slots_) {
+    slot.edges.resize(stream->header_.max_block_edges);
+  }
+  stream->decode_buf_.resize(stream->header_.max_block_edges);
+  return stream;
+}
+
+MmapEdgeStream::~MmapEdgeStream() {
+  StopWorker();
+  if (base_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(base_), file_bytes_);
+  }
+}
+
+Status MmapEdgeStream::Reset() {
+  StopWorker();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!status_.ok()) {
+    // A failed stream stays failed: restarting could silently deliver
+    // a different edge sequence than the first pass saw.
+    return status_;
+  }
+  cursor_ = kEdgeFileHeaderBytes;
+  taken_pass_edges_ = 0;
+  pass_finalized_ = false;
+  dropped_end_ = 0;
+  disk_pass_bytes_ = 0;
+  passes_ += 1;
+  for (Slot& slot : slots_) {
+    slot.filled = 0;
+    slot.block_bytes = 0;
+    slot.ready = false;
+  }
+  fill_slot_ = 0;
+  consume_slot_ = 0;
+  consume_pos_ = 0;
+  producer_done_ = false;
+  decode_fill_ = 0;
+  decode_pos_ = 0;
+  return Status::OK();
+}
+
+Status MmapEdgeStream::Health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+StreamIoStats MmapEdgeStream::Io() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StreamIoStats io;
+  io.disk_backed = true;
+  io.disk_bytes_this_pass = disk_pass_bytes_;
+  io.disk_bytes_total = disk_total_bytes_;
+  io.passes = passes_;
+  return io;
+}
+
+bool MmapEdgeStream::TakeNextBlockLocked(EdgeBlockHeader* header,
+                                         const uint8_t** block,
+                                         size_t* block_bytes) {
+  if (!status_.ok() || cursor_ >= blocks_end_) {
+    return false;
+  }
+  const Status parsed =
+      DecodeBlockHeader(base_ + cursor_, blocks_end_ - cursor_, header);
+  if (!parsed.ok()) {
+    status_ = Status(parsed.code(), path_ + ": " + parsed.message());
+    return false;
+  }
+  if (header->num_edges > header_.max_block_edges) {
+    // Decode buffers are provisioned from the file header; an
+    // oversized block is corruption, not a bigger buffer request.
+    status_ = Status::IoError(path_ + ": block exceeds declared block size");
+    return false;
+  }
+  *block = base_ + cursor_;
+  *block_bytes = kEdgeBlockHeaderBytes + header->payload_bytes;
+  cursor_ += *block_bytes;
+  taken_pass_edges_ += header->num_edges;
+  FreeBehindLocked(cursor_);
+  return true;
+}
+
+void MmapEdgeStream::FinalizePassLocked() {
+  if (pass_finalized_) {
+    return;
+  }
+  pass_finalized_ = true;
+  if (status_.ok() && taken_pass_edges_ != trailer_.num_edges) {
+    status_ = Status::IoError(
+        path_ + ": decoded " + std::to_string(taken_pass_edges_) +
+        " edges but the trailer promises " +
+        std::to_string(trailer_.num_edges));
+  }
+  if (status_.ok()) {
+    // Blocks were accounted as consumed; the fixed framing completes
+    // the pass: a full pass reads exactly the file's bytes.
+    const uint64_t framing = kEdgeFileHeaderBytes + kEdgeFileTrailerBytes;
+    disk_pass_bytes_ += framing;
+    disk_total_bytes_ += framing;
+  }
+}
+
+void MmapEdgeStream::FreeBehindLocked(size_t consumed_offset) {
+#if defined(MADV_DONTNEED)
+  const size_t window = options_.madvise_window_bytes;
+  if (window == 0) {
+    return;
+  }
+  static const size_t kPage = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t floor = consumed_offset & ~(kPage - 1);
+  if (floor > dropped_end_ && floor - dropped_end_ >= window) {
+    ::madvise(const_cast<uint8_t*>(base_) + dropped_end_,
+              floor - dropped_end_, MADV_DONTNEED);
+    dropped_end_ = floor;
+  }
+#else
+  (void)consumed_offset;
+#endif
+}
+
+void MmapEdgeStream::EnsureWorkerStartedLocked() {
+  if (worker_started_ || producer_done_ || !status_.ok()) {
+    return;
+  }
+  worker_started_ = true;
+  stop_worker_ = false;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void MmapEdgeStream::StopWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!worker_started_) {
+      return;
+    }
+    stop_worker_ = true;
+  }
+  slot_free_cv_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  worker_started_ = false;
+  stop_worker_ = false;
+}
+
+void MmapEdgeStream::WorkerLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_free_cv_.wait(lock, [this] {
+      return stop_worker_ || !slots_[fill_slot_].ready;
+    });
+    if (stop_worker_) {
+      return;
+    }
+    Slot& slot = slots_[fill_slot_];
+    EdgeBlockHeader header;
+    const uint8_t* block = nullptr;
+    size_t block_bytes = 0;
+    if (!TakeNextBlockLocked(&header, &block, &block_bytes)) {
+      producer_done_ = true;
+      lock.unlock();
+      slot_ready_cv_.notify_all();
+      return;
+    }
+    lock.unlock();
+
+    // The expensive part — checksum + unpack — runs without the lock,
+    // overlapping the consumer's drain of the other slot.
+    const Status decoded = DecodeBlockPayload(
+        header, block + kEdgeBlockHeaderBytes, slot.edges.data());
+
+    lock.lock();
+    if (!decoded.ok()) {
+      if (status_.ok()) {
+        status_ = Status(decoded.code(), path_ + ": " + decoded.message());
+      }
+      producer_done_ = true;
+      lock.unlock();
+      slot_ready_cv_.notify_all();
+      return;
+    }
+    slot.filled = header.num_edges;
+    slot.block_bytes = block_bytes;
+    slot.ready = true;
+    fill_slot_ ^= 1;
+    lock.unlock();
+    slot_ready_cv_.notify_all();
+  }
+}
+
+size_t MmapEdgeStream::Next(Edge* out, size_t capacity) {
+  if (capacity == 0) {
+    return 0;
+  }
+  return options_.decode_ahead ? NextDecodeAhead(out, capacity)
+                               : NextSync(out, capacity);
+}
+
+size_t MmapEdgeStream::NextDecodeAhead(Edge* out, size_t capacity) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  EnsureWorkerStartedLocked();
+  size_t delivered = 0;
+  while (delivered < capacity) {
+    Slot& slot = slots_[consume_slot_];
+    if (!slot.ready) {
+      if (producer_done_) {
+        break;
+      }
+      if (delivered > 0) {
+        break;  // hand back what we have instead of stalling
+      }
+      slot_ready_cv_.wait(lock, [this, &slot] {
+        return slot.ready || producer_done_;
+      });
+      continue;
+    }
+    const size_t available = slot.filled - consume_pos_;
+    if (available == 0) {
+      slot.ready = false;
+      slot.filled = 0;
+      disk_pass_bytes_ += slot.block_bytes;
+      disk_total_bytes_ += slot.block_bytes;
+      slot.block_bytes = 0;
+      consume_pos_ = 0;
+      consume_slot_ ^= 1;
+      lock.unlock();
+      slot_free_cv_.notify_all();
+      lock.lock();
+      continue;
+    }
+    const size_t take =
+        available < capacity - delivered ? available : capacity - delivered;
+    std::memcpy(out + delivered, slot.edges.data() + consume_pos_,
+                take * sizeof(Edge));
+    consume_pos_ += take;
+    delivered += take;
+  }
+  if (delivered == 0) {
+    FinalizePassLocked();
+  }
+  return delivered;
+}
+
+size_t MmapEdgeStream::NextSync(Edge* out, size_t capacity) {
+  size_t delivered = 0;
+  while (delivered < capacity) {
+    if (decode_pos_ == decode_fill_) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      EdgeBlockHeader header;
+      const uint8_t* block = nullptr;
+      size_t block_bytes = 0;
+      if (!TakeNextBlockLocked(&header, &block, &block_bytes)) {
+        break;
+      }
+      const Status decoded = DecodeBlockPayload(
+          header, block + kEdgeBlockHeaderBytes, decode_buf_.data());
+      if (!decoded.ok()) {
+        if (status_.ok()) {
+          status_ = Status(decoded.code(), path_ + ": " + decoded.message());
+        }
+        break;
+      }
+      decode_fill_ = header.num_edges;
+      decode_pos_ = 0;
+      disk_pass_bytes_ += block_bytes;
+      disk_total_bytes_ += block_bytes;
+    }
+    const size_t available = decode_fill_ - decode_pos_;
+    const size_t take =
+        available < capacity - delivered ? available : capacity - delivered;
+    std::memcpy(out + delivered, decode_buf_.data() + decode_pos_,
+                take * sizeof(Edge));
+    decode_pos_ += take;
+    delivered += take;
+  }
+  if (delivered == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FinalizePassLocked();
+  }
+  return delivered;
+}
+
+bool MmapEdgeStream::NextEncodedBlock(EncodedBlock* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EdgeBlockHeader header;
+  const uint8_t* block = nullptr;
+  size_t block_bytes = 0;
+  if (!TakeNextBlockLocked(&header, &block, &block_bytes)) {
+    FinalizePassLocked();
+    return false;
+  }
+  out->data = block;
+  out->bytes = block_bytes;
+  out->num_edges = header.num_edges;
+  disk_pass_bytes_ += block_bytes;
+  disk_total_bytes_ += block_bytes;
+  return true;
+}
+
+Status MmapEdgeStream::DecodeBlock(const EncodedBlock& block,
+                                   Edge* out) const {
+  EdgeBlockHeader header;
+  TPSL_RETURN_IF_ERROR(DecodeBlockHeader(
+      static_cast<const uint8_t*>(block.data), block.bytes, &header));
+  if (header.num_edges != block.num_edges) {
+    return Status::Internal("encoded block view out of sync with header");
+  }
+  return DecodeBlockPayload(
+      header, static_cast<const uint8_t*>(block.data) + kEdgeBlockHeaderBytes,
+      out);
+}
+
+}  // namespace io
+}  // namespace tpsl

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/status.h"
 
 namespace tpsl {
 
@@ -55,6 +56,14 @@ class AssignmentSink {
   /// state alone under-reports a run whose sinks keep replication
   /// bitsets or writer buffers alive.
   virtual uint64_t StateBytes() const { return 0; }
+
+  /// Sticky sink health. Assign()/AssignBatch() have no error channel
+  /// (scoring cannot abort mid-batch), so sinks that can fail — a
+  /// spill writer hitting a full disk, an async handoff whose
+  /// downstream died — latch the first failure here. The runner checks
+  /// every pipeline sink after the pass; a run whose spill silently
+  /// dropped edges must not report success.
+  virtual Status Health() const { return Status::OK(); }
 };
 
 /// Counts edges per partition; the cheapest sink for quality metrics.
@@ -156,6 +165,17 @@ class TeeSink : public AssignmentSink {
       bytes += sink->StateBytes();
     }
     return bytes;
+  }
+
+  /// First non-OK child wins (delivery order, same as Assign()).
+  Status Health() const override {
+    for (const AssignmentSink* sink : sinks_) {
+      Status status = sink->Health();
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    return Status::OK();
   }
 
   size_t num_sinks() const { return sinks_.size(); }

@@ -1,38 +1,63 @@
 #ifndef TPSL_PARTITION_PARTITIONED_WRITER_H_
 #define TPSL_PARTITION_PARTITIONED_WRITER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "io/edge_block_format.h"
 #include "partition/assignment_sink.h"
 #include "util/status.h"
 
 namespace tpsl {
 
-/// Streams edge assignments straight to one binary edge-list file per
-/// partition — the paper's write-back step ("writes back the
-/// partitioned graph data to storage") without materializing the
-/// partitions in memory. Files are named
-/// `<prefix>.part<id>.bin`; Finish() flushes, closes and writes a
-/// plain-text manifest `<prefix>.manifest` with per-partition edge
-/// counts.
+/// Streams edge assignments straight to one compressed edge-block file
+/// per partition (io/edge_block_format.h) — the paper's write-back
+/// step ("writes back the partitioned graph data to storage") without
+/// materializing the partitions in memory, and without paying
+/// full-width I/O for them either. Files are named
+/// `<prefix>.part<id>.bin`; Finish() seals each file with its trailer,
+/// closes it, and writes a plain-text manifest `<prefix>.manifest`
+/// with per-partition edge counts.
+///
+/// Assignments accumulate into one block buffer per partition; a full
+/// block is encoded on the assigning thread and handed to a single
+/// background writer thread, so encoding the next block overlaps the
+/// fwrite of the previous one (double-buffered through a small pool of
+/// encoded-block buffers shared across partitions).
+///
+/// Every fwrite/fclose result is checked; the first failure (e.g. a
+/// full disk) latches into sticky Health(), further assignments are
+/// dropped, and Finish() reports the error — a spill that lost edges
+/// can never look like a successful run.
 class PartitionedWriter : public AssignmentSink {
  public:
   /// Opens `num_partitions` output files. Check status() before use.
-  PartitionedWriter(const std::string& prefix, uint32_t num_partitions);
+  /// `block_edges` is the compression block capacity per partition.
+  PartitionedWriter(const std::string& prefix, uint32_t num_partitions,
+                    uint32_t block_edges = io::kSpillBlockEdges);
   ~PartitionedWriter() override;
 
   PartitionedWriter(const PartitionedWriter&) = delete;
   PartitionedWriter& operator=(const PartitionedWriter&) = delete;
 
   /// Non-OK if any file failed to open or a write failed so far.
-  const Status& status() const { return status_; }
+  Status status() const { return Health(); }
+
+  /// Sticky spill health (open/write/close failures, including those
+  /// observed on the background writer thread).
+  Status Health() const override;
 
   void Assign(const Edge& edge, PartitionId partition) override;
 
-  /// Flushes and closes all files and writes the manifest. Must be
-  /// called exactly once; returns the terminal status.
+  /// Flushes tail blocks, seals every file with its trailer, closes
+  /// them and writes the manifest. Must be called exactly once;
+  /// returns the terminal status.
   Status Finish();
 
   /// Path of partition p's file.
@@ -40,24 +65,54 @@ class PartitionedWriter : public AssignmentSink {
 
   const std::vector<uint64_t>& edge_counts() const { return edge_counts_; }
 
-  /// Total payload bytes streamed to disk so far.
-  uint64_t bytes_written() const {
-    uint64_t edges = 0;
-    for (uint64_t count : edge_counts_) edges += count;
-    return edges * sizeof(Edge);
-  }
+  /// Compressed bytes streamed to disk so far (headers and, after
+  /// Finish(), trailers included) — the bytes the device actually saw.
+  uint64_t bytes_written() const { return bytes_written_; }
 
-  /// The writer's resident state: one stdio buffer per open partition
-  /// file plus the count vector — O(k), independent of |E|. Part of the
-  /// whole-run state accounting when the writer is the spill sink.
+  /// The writer's resident state: one stdio buffer and one block
+  /// buffer per partition plus the shared encoded-buffer pool — O(k),
+  /// independent of |E|. Part of the whole-run state accounting when
+  /// the writer is the spill sink.
   uint64_t StateBytes() const override;
 
  private:
+  struct Part {
+    std::FILE* file = nullptr;
+    std::vector<Edge> block;
+    size_t fill = 0;
+    uint64_t edge_checksum = io::kFnv1a64OffsetBasis;
+  };
+
+  struct Pending {
+    uint32_t part;
+    size_t buffer;
+    size_t bytes;
+  };
+
+  void FlushPart(PartitionId p);
+  size_t AcquireBuffer();
+  void WriterLoop();
+  void StopWriterThread();
+
   std::string prefix_;
-  std::vector<std::FILE*> files_;
+  const uint32_t block_edges_;
+  std::vector<Part> parts_;
   std::vector<uint64_t> edge_counts_;
-  Status status_;
+  uint64_t bytes_written_ = 0;
   bool finished_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable free_cv_;
+  std::vector<std::vector<uint8_t>> buffers_;
+  std::vector<size_t> free_buffers_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  Status status_;  // sticky; guarded by mutex_
+  /// Lock-free mirror of "status_ is non-OK" for the per-edge path.
+  std::atomic<bool> failed_{false};
+  std::thread writer_;
+  bool writer_running_ = false;
 };
 
 }  // namespace tpsl

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "graph/binary_edge_list.h"
+#include "io/edge_file.h"
 #include "obs/trace.h"
 #include "partition/assignment_sink.h"
 #include "partition/partitioned_writer.h"
@@ -120,6 +121,11 @@ StatusOr<RunResult> RunPartitioner(Partitioner& partitioner,
   // Some partitioners drive Next() manually instead of via ForEachEdge;
   // a stream that failed mid-pass looks like a short EOF to them.
   TPSL_RETURN_IF_ERROR(stream.Health());
+  // Same for the sinks: Assign() has no error channel, so a spill
+  // writer that hit a full disk (or an async handoff whose downstream
+  // died) latched the failure in Health(). Check before trusting any
+  // downstream state.
+  TPSL_RETURN_IF_ERROR(pipeline.Health());
   // Whole-run state: the partitioner's own accounting plus the live
   // sink-side state (replication bitsets, writer buffers, any opted-in
   // edge lists) — snapshot before Finish() releases the writer.
@@ -169,8 +175,11 @@ StatusOr<std::vector<std::unique_ptr<EdgeStream>>> OpenSpilledPartitions(
   std::vector<std::unique_ptr<EdgeStream>> streams;
   streams.reserve(spill.partition_paths.size());
   for (const std::string& path : spill.partition_paths) {
-    TPSL_ASSIGN_OR_RETURN(std::unique_ptr<BinaryFileEdgeStream> stream,
-                          BinaryFileEdgeStream::Open(path));
+    // Sniffing open: spilled files are compressed edge-block files
+    // today, but manifests written by older runs (raw fixed-width
+    // pairs) stay readable.
+    TPSL_ASSIGN_OR_RETURN(std::unique_ptr<EdgeStream> stream,
+                          io::OpenEdgeFile(path));
     streams.push_back(std::move(stream));
   }
   return streams;

@@ -221,7 +221,26 @@ void AsyncHandoffSink::DrainLoop() {
     producer_cv_.notify_one();
     downstream_->AssignBatch(chunk.data(), chunk.size());
     lock.lock();
+    if (health_.ok()) {
+      // The drainer is the only thread touching the downstream during
+      // a pass, so this is the one place its failure can be observed
+      // promptly.
+      health_ = downstream_->Health();
+    }
   }
+}
+
+Status AsyncHandoffSink::Health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!health_.ok()) {
+    return health_;
+  }
+  if (!started_) {
+    // No drainer in flight (never started, or joined by Finish): the
+    // downstream is quiescent and safe to inspect directly.
+    return downstream_->Health();
+  }
+  return health_;
 }
 
 void AsyncHandoffSink::Finish() {

@@ -160,6 +160,14 @@ class AsyncHandoffSink : public AssignmentSink {
   /// downstream state is complete and safe to read single-threaded.
   void Finish();
 
+  /// Downstream failures propagate through the handoff: the drainer
+  /// re-checks the downstream's Health() after every delivered chunk
+  /// and latches the first error here, so a producer polling mid-pass
+  /// (or the runner after the pass) sees a spill-writer failure even
+  /// though delivery happens on another thread. When no drainer is in
+  /// flight the downstream is quiescent and is queried directly.
+  Status Health() const override;
+
   uint64_t StateBytes() const override;
 
  private:
@@ -168,7 +176,8 @@ class AsyncHandoffSink : public AssignmentSink {
   AssignmentSink* const downstream_;
   const size_t max_queued_chunks_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
+  Status health_;  // first downstream error seen by the drainer
   std::condition_variable producer_cv_;  // queue has space
   std::condition_variable drainer_cv_;   // queue has work (or stop)
   std::deque<std::vector<Assignment>> queue_;

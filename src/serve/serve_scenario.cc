@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "benchkit/runner.h"
 #include "exec/thread_pool.h"
 #include "graph/datasets.h"
 #include "graph/types.h"
@@ -126,6 +127,7 @@ StatusOr<benchkit::BenchRecord> RunServeScenario(
   record.SetMetric("phase_seconds/readers", best.reader_seconds);
   record.SetMetric("phase_seconds/writer", best.writer_seconds);
   benchkit::AttachObsMetrics(&record);
+  benchkit::AttachHostMetrics(&record);
   return record;
 }
 

@@ -183,6 +183,85 @@ TEST(AsyncHandoffSinkTest, PreservesOrderForSequentialProducer) {
   }
 }
 
+/// A downstream that silently drops assignments past a budget and
+/// latches the failure in Health() — the shape of a spill writer
+/// hitting a full disk (Assign has no error channel).
+class FailingSink : public AssignmentSink {
+ public:
+  explicit FailingSink(uint64_t capacity) : capacity_(capacity) {}
+
+  void Assign(const Edge& edge, PartitionId partition) override {
+    (void)edge;
+    (void)partition;
+    if (accepted_ >= capacity_) {
+      failed_ = true;
+      return;
+    }
+    ++accepted_;
+  }
+
+  Status Health() const override {
+    return failed_ ? Status::IoError("simulated disk full") : Status::OK();
+  }
+
+  uint64_t accepted() const { return accepted_; }
+
+ private:
+  const uint64_t capacity_;
+  uint64_t accepted_ = 0;
+  bool failed_ = false;
+};
+
+/// The handoff's drainer is the only thread that sees the downstream
+/// mid-pass, so it must latch the downstream's failure and surface it
+/// through the handoff's own Health() — the runner polls the pipeline,
+/// never the wrapped sink.
+TEST(AsyncHandoffSinkTest, PropagatesDownstreamFailureMidDrain) {
+  FailingSink failing(/*capacity=*/1000);
+  AsyncHandoffSink handoff(&failing, /*max_queued_chunks=*/4);
+  std::vector<Assignment> chunk(256);
+  for (uint32_t c = 0; c < 32; ++c) {
+    for (uint32_t i = 0; i < chunk.size(); ++i) {
+      const uint32_t n = c * 256 + i;
+      chunk[i] = {{n, n + 1}, static_cast<PartitionId>(n % 4)};
+    }
+    handoff.AssignBatch(chunk.data(), chunk.size());
+  }
+  handoff.Finish();
+  // 32 × 256 = 8192 submitted against a 1000-capacity downstream: the
+  // failure latched mid-drain must be visible after Finish() and stay
+  // sticky on repeated queries.
+  EXPECT_FALSE(handoff.Health().ok());
+  EXPECT_FALSE(handoff.Health().ok());
+  EXPECT_EQ(failing.accepted(), 1000u);
+}
+
+/// Before any batch is queued there is no drainer; Health() must fall
+/// through to the downstream directly so a pre-failed sink is visible
+/// without pushing a single assignment.
+TEST(AsyncHandoffSinkTest, ReportsDownstreamFailureWithoutDrainer) {
+  FailingSink failing(/*capacity=*/0);
+  failing.Assign({1, 2}, 0);  // trip the failure directly
+  AsyncHandoffSink handoff(&failing, /*max_queued_chunks=*/4);
+  EXPECT_FALSE(handoff.Health().ok());
+}
+
+/// A healthy downstream keeps the handoff healthy across the full
+/// produce/drain/finish cycle.
+TEST(AsyncHandoffSinkTest, HealthyDownstreamStaysHealthy) {
+  CountingSink counting(4);
+  AsyncHandoffSink handoff(&counting, /*max_queued_chunks=*/4);
+  std::vector<Assignment> chunk(128);
+  for (uint32_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = {{i, i + 1}, static_cast<PartitionId>(i % 4)};
+  }
+  handoff.AssignBatch(chunk.data(), chunk.size());
+  EXPECT_TRUE(handoff.Health().ok());
+  handoff.Finish();
+  EXPECT_TRUE(handoff.Health().ok());
+  EXPECT_EQ(counting.total(), chunk.size());
+}
+
 /// The tsan hammer for the runner's threads>1 pipeline shape: four
 /// producers slam a TeeSink fanning to a sharded quality sink and an
 /// async handoff over a sequential counting sink, exactly the

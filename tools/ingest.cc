@@ -12,6 +12,9 @@
 //   --catalog=FILE    catalog path (default bench/catalog.json)
 //   --dir=DIR         dataset cache dir (default bench/.datasets)
 //   --name=NAME       restrict to one dataset (repeatable)
+//   --format=F        override the on-disk encoding (raw | compressed)
+//                     for --generate/--verify/--bench; with --pin the
+//                     catalog is rewritten to the chosen format
 //   --chunk-edges=N   generation chunk buffer, in edges (default 1Mi)
 //   --threads=N       with --bench: additionally run an out-of-core
 //                     parallel 2PS-L over each dataset on N execution-
@@ -40,6 +43,8 @@
 #include "graph/binary_edge_list.h"
 #include "ingest/catalog.h"
 #include "ingest/prefetching_edge_stream.h"
+#include "io/edge_file.h"
+#include "io/mmap_edge_stream.h"
 #include "obs/trace.h"
 #include "partition/runner.h"
 #include "util/logging.h"
@@ -65,6 +70,7 @@ struct Options {
   std::string catalog_path = "bench/catalog.json";
   std::string dir = "bench/.datasets";
   std::vector<std::string> names;
+  int format_override = -1;  // -1 = catalog's; 0 = raw; 1 = compressed
   size_t chunk_edges = 1 << 20;
   uint32_t threads = 0;  // --bench: partition on N workers (0 = scan only)
   std::string spill_dir;  // --bench: spill partitions to disk when set
@@ -75,8 +81,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--describe | --generate | --verify | --pin |"
                " --bench) [--catalog=FILE] [--dir=DIR] [--name=NAME ...]"
-               " [--chunk-edges=N] [--threads=N] [--spill=DIR]"
-               " [--trace=FILE] [--verbose]\n",
+               " [--format=raw|compressed] [--chunk-edges=N] [--threads=N]"
+               " [--spill=DIR] [--trace=FILE] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -90,23 +96,59 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   return true;
 }
 
+/// Re-targets entries at the --format override. Changing the encoding
+/// invalidates the physical (file-byte) pin — the logical edge pins
+/// stay, which is the whole point of keeping them format-independent.
+void ApplyFormatOverride(const Options& options,
+                         std::vector<CatalogEntry>* entries) {
+  if (options.format_override < 0) {
+    return;
+  }
+  const uint32_t format = static_cast<uint32_t>(options.format_override);
+  for (CatalogEntry& entry : *entries) {
+    if (entry.format_version != format) {
+      entry.format_version = format;
+      entry.expected_file_checksum.clear();
+    }
+  }
+}
+
 /// Catalog entries selected by --name filters (all when none given).
 bool SelectEntries(const Catalog& catalog, const Options& options,
                    std::vector<CatalogEntry>* selected) {
   if (options.names.empty()) {
     *selected = catalog.entries;
-    return !selected->empty();
-  }
-  for (const std::string& name : options.names) {
-    const CatalogEntry* entry = catalog.Find(name);
-    if (entry == nullptr) {
-      TPSL_LOG(Error) << "unknown dataset '" << name
-                      << "' (see --describe)";
-      return false;
+  } else {
+    for (const std::string& name : options.names) {
+      const CatalogEntry* entry = catalog.Find(name);
+      if (entry == nullptr) {
+        TPSL_LOG(Error) << "unknown dataset '" << name
+                        << "' (see --describe)";
+        return false;
+      }
+      selected->push_back(*entry);
     }
-    selected->push_back(*entry);
   }
-  return true;
+  ApplyFormatOverride(options, selected);
+  return !selected->empty();
+}
+
+/// Opens a dataset for scanning with read-ahead appropriate to its
+/// sniffed format: decode-ahead mmap for compressed block files, the
+/// fread prefetcher for raw ones.
+tpsl::StatusOr<std::unique_ptr<tpsl::EdgeStream>> OpenOverlapped(
+    const std::string& path) {
+  TPSL_ASSIGN_OR_RETURN(const tpsl::io::EdgeFileFormat format,
+                        tpsl::io::SniffEdgeFileFormat(path));
+  if (format == tpsl::io::EdgeFileFormat::kCompressedBlocks) {
+    TPSL_ASSIGN_OR_RETURN(std::unique_ptr<tpsl::io::MmapEdgeStream> stream,
+                          tpsl::io::MmapEdgeStream::Open(path));
+    return std::unique_ptr<tpsl::EdgeStream>(std::move(stream));
+  }
+  TPSL_ASSIGN_OR_RETURN(std::unique_ptr<tpsl::BinaryFileEdgeStream> file,
+                        tpsl::BinaryFileEdgeStream::Open(path));
+  return std::unique_ptr<tpsl::EdgeStream>(
+      std::make_unique<PrefetchingEdgeStream>(std::move(file)));
 }
 
 int Describe(const Catalog& catalog, const Options& options) {
@@ -114,8 +156,8 @@ int Describe(const Catalog& catalog, const Options& options) {
   if (!SelectEntries(catalog, options, &entries)) {
     return 2;
   }
-  std::printf("%-14s %-18s %5s %4s %8s %14s %-24s %s\n", "name", "kind",
-              "scale", "ef", "seed", "edges", "checksum", "cache");
+  std::printf("%-14s %-18s %5s %4s %8s %14s %-8s %-24s %s\n", "name", "kind",
+              "scale", "ef", "seed", "edges", "format", "checksum", "cache");
   for (const CatalogEntry& entry : entries) {
     const std::string path = DatasetPath(options.dir, entry.recipe.name);
     std::FILE* probe = std::fopen(path.c_str(), "rb");
@@ -124,15 +166,25 @@ int Describe(const Catalog& catalog, const Options& options) {
       std::fclose(probe);
       cache = "present";
     }
-    std::printf("%-14s %-18s %5u %4u %8" PRIu64 " %14" PRIu64 " %-24s %s\n",
+    std::printf("%-14s %-18s %5u %4u %8" PRIu64 " %14" PRIu64
+                " %-8s %-24s %s\n",
                 entry.recipe.name.c_str(), entry.recipe.kind.c_str(),
                 entry.recipe.scale, entry.recipe.edge_factor,
                 entry.recipe.seed, entry.expected_edges,
+                tpsl::io::EdgeFileFormatName(
+                    entry.format_version == 1
+                        ? tpsl::io::EdgeFileFormat::kCompressedBlocks
+                        : tpsl::io::EdgeFileFormat::kRaw),
                 entry.expected_checksum.empty()
                     ? "(unpinned)"
                     : entry.expected_checksum.c_str(),
                 cache);
   }
+  std::printf(
+      "\nformats: raw = headerless u32 endpoint pairs; blocks1 = the\n"
+      "compressed edge-block format (delta/bit-packed columns in checksummed\n"
+      "blocks — see README \"On-disk format\"). checksum is the logical\n"
+      "FNV-1a over decoded edge bytes, identical across formats.\n");
   return 0;
 }
 
@@ -179,7 +231,9 @@ int Verify(const Catalog& catalog, const Options& options) {
 
 int Pin(Catalog catalog, const Options& options) {
   // Pinning ignores --name filters: a half-pinned catalog is worse
-  // than an unpinned one.
+  // than an unpinned one. --format does apply — it rewrites the whole
+  // catalog to the chosen encoding.
+  ApplyFormatOverride(options, &catalog.entries);
   for (CatalogEntry& entry : catalog.entries) {
     // Pinning exists to capture what the *current* generator produces,
     // so never trust the cache: a cached file from before a generator
@@ -193,6 +247,7 @@ int Pin(Catalog catalog, const Options& options) {
     CatalogEntry unpinned = entry;
     unpinned.expected_edges = 0;
     unpinned.expected_checksum.clear();
+    unpinned.expected_file_checksum.clear();
     auto result = EnsureDataset(unpinned, options.dir, options.chunk_edges);
     if (!result.ok()) {
       TPSL_LOG(Error) << result.status().ToString();
@@ -200,9 +255,12 @@ int Pin(Catalog catalog, const Options& options) {
     }
     entry.expected_edges = result->num_edges;
     entry.expected_checksum = result->checksum;
-    std::printf("pinned %-14s %" PRIu64 " edges %s\n",
+    entry.expected_file_checksum = result->file_checksum;
+    std::printf("pinned %-14s %" PRIu64 " edges %s file %s (%" PRIu64
+                " bytes)\n",
                 entry.recipe.name.c_str(), result->num_edges,
-                result->checksum.c_str());
+                result->checksum.c_str(), result->file_checksum.c_str(),
+                result->file_bytes);
   }
   const Status status = SaveCatalog(catalog, options.catalog_path);
   if (!status.ok()) {
@@ -244,7 +302,9 @@ int Bench(const Catalog& catalog, const Options& options) {
     double plain_seconds = 0.0;
     double prefetch_seconds = 0.0;
     {
-      auto plain = tpsl::BinaryFileEdgeStream::Open(ensured->path);
+      // Sniffing open, no read-ahead: raw fread or synchronous block
+      // decode.
+      auto plain = tpsl::io::OpenEdgeFile(ensured->path);
       if (!plain.ok()) {
         TPSL_LOG(Error) << plain.status().ToString();
         return 1;
@@ -256,13 +316,12 @@ int Bench(const Catalog& catalog, const Options& options) {
       }
     }
     {
-      auto file = tpsl::BinaryFileEdgeStream::Open(ensured->path);
-      if (!file.ok()) {
-        TPSL_LOG(Error) << file.status().ToString();
+      auto overlapped = OpenOverlapped(ensured->path);
+      if (!overlapped.ok()) {
+        TPSL_LOG(Error) << overlapped.status().ToString();
         return 1;
       }
-      PrefetchingEdgeStream prefetched(std::move(*file));
-      const Status status = time_scan(prefetched, &prefetch_seconds);
+      const Status status = time_scan(**overlapped, &prefetch_seconds);
       if (!status.ok()) {
         TPSL_LOG(Error) << status.ToString();
         return 1;
@@ -276,15 +335,15 @@ int Bench(const Catalog& catalog, const Options& options) {
                 plain_seconds, prefetch_seconds);
 
     if (options.threads != 0) {
-      // Out-of-core parallel 2PS-L: the prefetcher's background reader
-      // feeding the execution engine's workers — the full pipeline the
-      // 2psl_par disk scenarios gate, on demand for any dataset.
-      auto file = tpsl::BinaryFileEdgeStream::Open(ensured->path);
-      if (!file.ok()) {
-        TPSL_LOG(Error) << file.status().ToString();
+      // Out-of-core parallel 2PS-L: the format-appropriate read-ahead
+      // reader feeding the execution engine's workers — the full
+      // pipeline the 2psl_par disk scenarios gate, on demand for any
+      // dataset.
+      auto overlapped = OpenOverlapped(ensured->path);
+      if (!overlapped.ok()) {
+        TPSL_LOG(Error) << overlapped.status().ToString();
         return 1;
       }
-      PrefetchingEdgeStream prefetched(std::move(*file));
       tpsl::ParallelTwoPhasePartitioner partitioner;
       tpsl::PartitionConfig config;
       config.exec.threads = options.threads;
@@ -293,7 +352,7 @@ int Bench(const Catalog& catalog, const Options& options) {
         run_options.spill_dir = options.spill_dir;
         run_options.spill_stem = entry.recipe.name;
       }
-      auto run = tpsl::RunPartitioner(partitioner, prefetched, config,
+      auto run = tpsl::RunPartitioner(partitioner, **overlapped, config,
                                       run_options);
       if (!run.ok()) {
         TPSL_LOG(Error) << run.status().ToString();
@@ -337,6 +396,16 @@ int main(int argc, char** argv) {
       options.dir = value;
     } else if (ParseFlag(arg, "--name", &value)) {
       options.names.push_back(value);
+    } else if (ParseFlag(arg, "--format", &value)) {
+      if (value == "raw") {
+        options.format_override = 0;
+      } else if (value == "compressed" || value == "blocks1") {
+        options.format_override = 1;
+      } else {
+        TPSL_LOG(Error) << "bad --format '" << value
+                        << "' (want raw | compressed)";
+        return Usage(argv[0]);
+      }
     } else if (ParseFlag(arg, "--threads", &value)) {
       if (!tpsl::benchkit::ParseThreadCount(value.c_str(),
                                             &options.threads)) {
